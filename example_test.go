@@ -1,0 +1,64 @@
+package simsub_test
+
+import (
+	"fmt"
+
+	"simsub"
+)
+
+// The most basic use: exact similar subtrajectory search under DTW.
+func ExampleExact() {
+	data := simsub.FromXY(0, 0, 1, 0, 2, 0, 2, 1, 2, 2, 3, 2)
+	query := simsub.FromXY(2, 1, 2, 2)
+	res := simsub.Exact(simsub.DTW()).Search(data, query)
+	fmt.Printf("best subtrajectory %v with distance %.1f\n", res.Interval, res.Dist)
+	// Output:
+	// best subtrajectory [3,4] with distance 0.0
+}
+
+// The fast splitting search trades a little effectiveness for O(n·m) time.
+func ExamplePrefixSuffix() {
+	data := simsub.FromXY(0, 0, 1, 0, 2, 0, 2, 1, 2, 2, 3, 2)
+	query := simsub.FromXY(2, 1, 2, 2)
+	res := simsub.PrefixSuffix(simsub.DTW()).Search(data, query)
+	exact := simsub.Exact(simsub.DTW()).Search(data, query)
+	fmt.Printf("PSS distance %.1f, exact distance %.1f\n", res.Dist, exact.Dist)
+	// PSS is greedy: on this input it misses the perfect match by one split.
+	// Output:
+	// PSS distance 1.0, exact distance 0.0
+}
+
+// Top-k subtrajectories of a single data trajectory (§3.1's extension).
+func ExampleTopKSubtrajectories() {
+	data := simsub.FromXY(0, 0, 1, 0, 2, 0, 3, 0)
+	query := simsub.FromXY(1, 0, 2, 0)
+	top := simsub.TopKSubtrajectories(simsub.DTW(), data, query, 2, true)
+	for i, r := range top {
+		fmt.Printf("rank %d: %v distance %.1f\n", i+1, r.Interval, r.Dist)
+	}
+	// Output:
+	// rank 1: [1,2] distance 0.0
+	// rank 2: [3,3] distance 3.0
+}
+
+// Database search with R-tree pruning and top-k ranking.
+func ExampleDatabase_topK() {
+	near := simsub.FromXY(0, 0, 1, 0, 2, 0)
+	far := simsub.FromXY(100, 100, 101, 100)
+	near.ID, far.ID = 1, 2
+	db := simsub.NewDatabase([]simsub.Trajectory{near, far}, true)
+	query := simsub.FromXY(1, 0, 2, 0)
+	matches := db.TopK(simsub.Exact(simsub.DTW()), query, 1)
+	best := matches[0]
+	fmt.Printf("trajectory %d, subtrajectory %v, distance %.1f\n",
+		db.Traj(best.TrajIndex).ID, best.Result.Interval, best.Result.Dist)
+	// Output:
+	// trajectory 1, subtrajectory [1,2], distance 0.0
+}
+
+// Similarity values are derived from distances with Θ = 1/(1+d).
+func ExampleSim() {
+	fmt.Printf("%.2f %.2f %.2f\n", simsub.Sim(0), simsub.Sim(1), simsub.Sim(3))
+	// Output:
+	// 1.00 0.50 0.25
+}

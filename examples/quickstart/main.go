@@ -1,0 +1,41 @@
+// Quickstart: find the portion of a data trajectory most similar to a query
+// trajectory, exactly and with the fast splitting heuristics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"simsub"
+)
+
+func main() {
+	// A vehicle drives east, loops north, then continues east. The query is
+	// the northward loop of a second vehicle, slightly offset.
+	data := simsub.FromXY(
+		0, 0, 1, 0, 2, 0, 3, 0, // eastbound
+		3, 1, 3, 2, 4, 2, 4, 1, // the loop
+		4, 0, 5, 0, 6, 0, // eastbound again
+	)
+	query := simsub.FromXY(3.1, 0.9, 3.1, 2.1, 3.9, 2.1, 3.9, 0.9)
+
+	fmt.Printf("data: %d points, %d subtrajectories; query: %d points\n\n",
+		data.Len(), data.NumSubtrajectories(), query.Len())
+
+	for _, alg := range []simsub.Algorithm{
+		simsub.Exact(simsub.DTW()),           // O(n²m): scores every subtrajectory
+		simsub.PrefixSuffix(simsub.DTW()),    // O(nm): greedy splitting (PSS)
+		simsub.Size(simsub.DTW(), 2),         // size-restricted (SizeS, ξ=2)
+		simsub.WholeTrajectory(simsub.DTW()), // the SimTra strawman
+	} {
+		res := alg.Search(data, query)
+		fmt.Printf("%-8s -> subtrajectory %v (%d pts), DTW distance %.3f, similarity %.3f\n",
+			alg.Name(), res.Interval, res.Interval.Len(), res.Dist, simsub.Sim(res.Dist))
+	}
+
+	// the exact answer is the loop
+	best := simsub.Exact(simsub.DTW()).Search(data, query)
+	fmt.Printf("\nmost similar portion: points %d..%d -> %v\n",
+		best.Interval.I, best.Interval.J, data.Sub(best.Interval.I, best.Interval.J).Points)
+}

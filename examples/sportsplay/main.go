@@ -1,0 +1,66 @@
+// Sports play retrieval (the paper's §1 motivating application): search a
+// database of soccer tracking data for the segment of play whose movement
+// is most similar to a query play, using the reinforcement-learning search
+// (RLS) with a policy trained on the same database.
+//
+// Run with: go run ./examples/sportsplay
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"simsub"
+	"simsub/internal/dataset"
+)
+
+func main() {
+	// synthetic soccer tracking data: 10 Hz, mean length 170 (the Sports
+	// dataset substitution described in DESIGN.md)
+	plays := dataset.Generate(dataset.Config{Kind: dataset.Sports, N: 120, Seed: 7})
+	fmt.Printf("database: %d plays, %d tracked points\n", len(plays), dataset.TotalPoints(plays))
+
+	// the query play: a short attacking run extracted from a held-out play
+	holdout := dataset.Generate(dataset.Config{Kind: dataset.Sports, N: 1, Seed: 99})[0]
+	query := holdout.Sub(40, 69) // a 3-second movement (30 points at 10 Hz)
+	fmt.Printf("query play: %d points over %.1fs\n\n", query.Len(), query.Duration())
+
+	// train a small RLS-Skip policy on (play, clipped-query) pairs
+	pairs := dataset.Pairs(plays, 60, 0, 40, 11)
+	var data, queries []simsub.Trajectory
+	for _, p := range pairs {
+		data = append(data, p.Data)
+		queries = append(queries, p.Query)
+	}
+	fmt.Println("training RLS-Skip policy (k=3) on 60 sampled pairs...")
+	start := time.Now()
+	policy, err := simsub.TrainPolicy(data, queries, simsub.DTW(), simsub.PolicyConfig{
+		K: 3, UseSuffix: true, Episodes: 120, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trained in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	// search the whole database for the top-5 most similar play segments
+	db := simsub.NewDatabase(plays, true) // with R-tree MBR pruning
+	rls := simsub.RL(simsub.DTW(), policy)
+	start = time.Now()
+	matches := db.TopK(rls, query, 5)
+	fmt.Printf("top-5 similar play segments (%s, searched %d plays):\n",
+		time.Since(start).Round(time.Millisecond), db.Len())
+	for rank, match := range matches {
+		play := db.Traj(match.TrajIndex)
+		iv := match.Result.Interval
+		fmt.Printf("  #%d play %3d  segment [%3d..%3d] (%.1fs)  similarity %.4f\n",
+			rank+1, play.ID, iv.I, iv.J,
+			play.Sub(iv.I, iv.J).Duration(), simsub.Sim(match.Result.Dist))
+	}
+
+	// contrast with whole-play search (SimTra): much worse segment fit
+	whole, _ := db.Best(simsub.WholeTrajectory(simsub.DTW()), query)
+	fmt.Printf("\nwhole-play baseline (SimTra): best play %d, similarity %.4f "+
+		"(subtrajectory search finds %.4f)\n",
+		db.Traj(whole.TrajIndex).ID, simsub.Sim(whole.Result.Dist),
+		simsub.Sim(matches[0].Result.Dist))
+}

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"simsub/internal/dataset"
+)
+
+// tinySuite returns a suite scaled for fast unit testing.
+func tinySuite() *Suite {
+	return NewSuite(Options{
+		Pairs:       6,
+		DatasetN:    40,
+		DBSizes:     []int{10, 20},
+		EffQueries:  2,
+		TopK:        5,
+		Episodes:    15,
+		TrainPool:   10,
+		T2vecEpochs: 1,
+		MaxQueryLen: 12,
+		Seed:        1,
+	})
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.Notes = append(tb.Notes, "hello")
+	out := tb.Format()
+	for _, want := range []string{"== demo ==", "a", "bb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuiteDatasetCaching(t *testing.T) {
+	s := tinySuite()
+	a := s.Dataset(dataset.Porto)
+	b := s.Dataset(dataset.Porto)
+	if &a[0] != &b[0] {
+		t.Error("dataset not cached")
+	}
+	if len(a) != 40 {
+		t.Errorf("dataset size %d", len(a))
+	}
+}
+
+func TestSuiteMeasures(t *testing.T) {
+	s := tinySuite()
+	for _, name := range MeasureNames() {
+		m, err := s.Measure(dataset.Porto, name)
+		if err != nil {
+			t.Fatalf("Measure(%s): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("measure name %q, want %q", m.Name(), name)
+		}
+	}
+	if _, err := s.Measure(dataset.Porto, "nope"); err == nil {
+		t.Error("expected error for unknown measure")
+	}
+	// t2vec model cached per dataset
+	m1, _ := s.Measure(dataset.Porto, "t2vec")
+	m2, _ := s.Measure(dataset.Porto, "t2vec")
+	if m1 != m2 {
+		t.Error("t2vec model not cached")
+	}
+}
+
+func TestSuitePolicyCaching(t *testing.T) {
+	s := tinySuite()
+	p1, d1, err := s.Policy(dataset.Porto, "dtw", 0, false)
+	if err != nil {
+		t.Fatalf("Policy: %v", err)
+	}
+	p2, d2, err := s.Policy(dataset.Porto, "dtw", 0, false)
+	if err != nil {
+		t.Fatalf("Policy: %v", err)
+	}
+	if p1 != p2 || d1 != d2 {
+		t.Error("policy not cached")
+	}
+	if p1.K != 0 || !p1.UseSuffix {
+		t.Errorf("policy shape %+v", p1)
+	}
+	// t2vec policies drop the suffix component
+	pt, _, err := s.Policy(dataset.Porto, "t2vec", 0, false)
+	if err != nil {
+		t.Fatalf("Policy t2vec: %v", err)
+	}
+	if pt.UseSuffix {
+		t.Error("t2vec policy should not use the suffix component")
+	}
+}
+
+func TestFig3Effectiveness(t *testing.T) {
+	s := tinySuite()
+	tb, err := s.Fig3Effectiveness(dataset.Porto, "dtw")
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("got %d algorithm rows, want 6:\n%s", len(tb.Rows), tb.Format())
+	}
+	names := []string{"SizeS", "PSS", "POS", "POS-D", "RLS", "RLS-Skip"}
+	for i, row := range tb.Rows {
+		if row[0] != names[i] {
+			t.Errorf("row %d is %q, want %q", i, row[0], names[i])
+		}
+	}
+}
+
+func TestFig4Efficiency(t *testing.T) {
+	s := tinySuite()
+	for _, withIndex := range []bool{false, true} {
+		tb, err := s.Fig4Efficiency(dataset.Porto, "dtw", withIndex)
+		if err != nil {
+			t.Fatalf("Fig4(index=%v): %v", withIndex, err)
+		}
+		if len(tb.Rows) != len(s.Opts.DBSizes) {
+			t.Errorf("got %d size rows, want %d", len(tb.Rows), len(s.Opts.DBSizes))
+		}
+		// ExactS column plus the six approximate algorithms
+		if len(tb.Header) != 8 {
+			t.Errorf("header %v", tb.Header)
+		}
+	}
+}
+
+func TestFig5AndFig6(t *testing.T) {
+	// length groups need long trajectories; use Harbin (mean 120)
+	s := tinySuite()
+	s.Opts.MaxQueryLen = 90
+	tb5, err := s.Fig5QueryLenEffectiveness(dataset.Harbin, "dtw")
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(tb5.Rows) != 4 {
+		t.Errorf("Fig5 rows %d, want 4 groups", len(tb5.Rows))
+	}
+	tb6, err := s.Fig6QueryLenEfficiency(dataset.Harbin, "dtw")
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(tb6.Rows) != 4 {
+		t.Errorf("Fig6 rows %d, want 4 groups", len(tb6.Rows))
+	}
+}
+
+func TestTable5SkipK(t *testing.T) {
+	s := tinySuite()
+	tb, err := s.Table5SkipK(dataset.Porto, "dtw", []int{0, 2})
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d, want 2", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "0" || tb.Rows[1][0] != "2" {
+		t.Errorf("k column wrong: %v", tb.Rows)
+	}
+}
+
+func TestFig7SizeSXi(t *testing.T) {
+	s := tinySuite()
+	tb, err := s.Fig7SizeSXi(dataset.Porto, "dtw", []int{0, 2, 4})
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	// three xi rows plus the ExactS reference
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows %d, want 4", len(tb.Rows))
+	}
+	if tb.Rows[3][0] != "ExactS" {
+		t.Errorf("last row %v, want ExactS reference", tb.Rows[3])
+	}
+}
+
+func TestTable6SimTra(t *testing.T) {
+	s := tinySuite()
+	tb, err := s.Table6SimTra([]dataset.Kind{dataset.Porto})
+	if err != nil {
+		t.Fatalf("Table6: %v", err)
+	}
+	// one dataset × three measures × two problems
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows %d, want 6", len(tb.Rows))
+	}
+}
+
+func TestFig8UCRSpring(t *testing.T) {
+	s := tinySuite()
+	tb, err := s.Fig8UCRSpring(dataset.Porto, []float64{0.2, 1})
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	// RLS-Skip+ row plus 2 UCR rows plus 2 Spring rows
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows %d, want 5:\n%s", len(tb.Rows), tb.Format())
+	}
+	if tb.Rows[0][0] != "RLS-Skip+" {
+		t.Errorf("first row %v", tb.Rows[0])
+	}
+}
+
+func TestFig9RandomS(t *testing.T) {
+	s := tinySuite()
+	tb, err := s.Fig9RandomS(dataset.Porto, []int{5, 20})
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(tb.Rows))
+	}
+}
+
+func TestTable7TrainingTime(t *testing.T) {
+	s := tinySuite()
+	tb, err := s.Table7TrainingTime([]dataset.Kind{dataset.Porto})
+	if err != nil {
+		t.Fatalf("Table7: %v", err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d, want 3 measures", len(tb.Rows))
+	}
+}
+
+func TestFutureWorkCDTW(t *testing.T) {
+	s := tinySuite()
+	tb, err := s.FutureWorkCDTW(dataset.Porto, 0.25)
+	if err != nil {
+		t.Fatalf("FutureWorkCDTW: %v", err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows %d, want 4:\n%s", len(tb.Rows), tb.Format())
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := tinySuite()
+	if tb, err := s.AblationDelay(dataset.Porto, "dtw", []int{0, 5}); err != nil || len(tb.Rows) != 2 {
+		t.Errorf("AblationDelay: %v rows=%d", err, len(tb.Rows))
+	}
+	if tb, err := s.AblationIncremental(dataset.Porto, "dtw"); err != nil || len(tb.Rows) != 2 {
+		t.Errorf("AblationIncremental: %v", err)
+	}
+	if tb, err := s.AblationSkipState(dataset.Porto, "dtw"); err != nil || len(tb.Rows) != 2 {
+		t.Errorf("AblationSkipState: %v", err)
+	}
+}

@@ -1,0 +1,534 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"simsub/internal/core"
+	"simsub/internal/dataset"
+	"simsub/internal/metrics"
+	"simsub/internal/rl"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// algoSet builds the approximate-algorithm lineup of Figure 3 for a measure:
+// SizeS(ξ=5), PSS, POS, POS-D(5), RLS, RLS-Skip(k=3).
+func (s *Suite) algoSet(kind dataset.Kind, measure string, m sim.Measure) ([]core.Algorithm, error) {
+	rlsPolicy, _, err := s.Policy(kind, measure, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	skipPolicy, _, err := s.Policy(kind, measure, 3, false)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Algorithm{
+		core.SizeS{M: m, Xi: 5},
+		core.PSS{M: m},
+		core.POS{M: m},
+		core.POSD{M: m, D: 5},
+		core.RLS{M: m, Policy: rlsPolicy},
+		core.RLS{M: m, Policy: skipPolicy},
+	}, nil
+}
+
+// effectivenessOver scores algorithms over pairs, returning per-algorithm
+// mean effectiveness and mean per-pair search time.
+func effectivenessOver(m sim.Measure, pairs []dataset.Pair, algs []core.Algorithm) ([]metrics.Effectiveness, []float64) {
+	aggs := make([]metrics.Agg, len(algs))
+	timers := make([]metrics.Timer, len(algs))
+	rs := make([]core.Result, len(algs))
+	for _, p := range pairs {
+		for i, a := range algs {
+			i, a := i, a
+			timers[i].Time(func() { rs[i] = a.Search(p.Data, p.Query) })
+		}
+		es := metrics.EvaluateMany(m, p.Data, p.Query, rs)
+		for i := range es {
+			aggs[i].Add(es[i])
+		}
+	}
+	means := make([]metrics.Effectiveness, len(algs))
+	times := make([]float64, len(algs))
+	for i := range algs {
+		means[i] = aggs[i].Mean()
+		times[i] = timers[i].MeanMs()
+	}
+	return means, times
+}
+
+// Fig3Effectiveness regenerates one panel of Figure 3: AR, MR and RR of
+// every approximate algorithm for the dataset and measure.
+func (s *Suite) Fig3Effectiveness(kind dataset.Kind, measure string) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	algs, err := s.algoSet(kind, measure, m)
+	if err != nil {
+		return Table{}, err
+	}
+	pairs := s.EffectivenessPairs(kind)
+	means, times := effectivenessOver(m, pairs, algs)
+	t := Table{
+		Title:  fmt.Sprintf("Figure 3: effectiveness on %s (%s), %d pairs", kind, measure, len(pairs)),
+		Header: []string{"algorithm", "AR", "MR", "RR", "time"},
+	}
+	for i, a := range algs {
+		t.AddRow(a.Name(), f3(means[i].AR), f1(means[i].MR), pct(means[i].RR), ms(times[i]))
+	}
+	return t, nil
+}
+
+// Fig4Efficiency regenerates one panel of Figures 4/10: top-k query time
+// against database size, with or without the R-tree index.
+func (s *Suite) Fig4Efficiency(kind dataset.Kind, measure string, withIndex bool) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	algs, err := s.algoSet(kind, measure, m)
+	if err != nil {
+		return Table{}, err
+	}
+	algs = append([]core.Algorithm{core.ExactS{M: m}}, algs...)
+	full := s.Dataset(kind)
+	idxLabel := "no index"
+	if withIndex {
+		idxLabel = "R-tree index"
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Figure 4: efficiency on %s (%s), %s, top-%d", kind, measure, idxLabel, s.Opts.TopK),
+		Header: append([]string{"points"}, algoNames(algs)...),
+	}
+	queries := dataset.Pairs(full, s.Opts.EffQueries, 2, s.Opts.MaxQueryLen, s.Opts.Seed+29)
+	seen := map[int]bool{}
+	for _, size := range s.Opts.DBSizes {
+		if size > len(full) {
+			size = len(full)
+		}
+		if seen[size] {
+			continue // several configured sizes clamped to the dataset size
+		}
+		seen[size] = true
+		db := core.NewDatabase(full[:size], withIndex)
+		row := []string{fmt.Sprintf("%d", dataset.TotalPoints(full[:size]))}
+		for _, a := range algs {
+			start := time.Now()
+			for _, qp := range queries {
+				db.TopK(a, qp.Query, s.Opts.TopK)
+			}
+			elapsed := time.Since(start).Seconds() * 1000 / float64(len(queries))
+			row = append(row, ms(elapsed))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "cell = mean wall-clock per top-k query")
+	return t, nil
+}
+
+func algoNames(algs []core.Algorithm) []string {
+	out := make([]string, len(algs))
+	for i, a := range algs {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// Fig5QueryLenEffectiveness regenerates Figures 5/11: effectiveness per
+// query-length group G1..G4.
+func (s *Suite) Fig5QueryLenEffectiveness(kind dataset.Kind, measure string) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	algs, err := s.algoSet(kind, measure, m)
+	if err != nil {
+		return Table{}, err
+	}
+	ts := s.Dataset(kind)
+	t := Table{
+		Title:  fmt.Sprintf("Figure 5: RR by query length on %s (%s)", kind, measure),
+		Header: append([]string{"group"}, algoNames(algs)...),
+	}
+	perGroup := s.Opts.Pairs / 2
+	if perGroup < 5 {
+		perGroup = 5
+	}
+	for _, g := range dataset.PaperGroups() {
+		pairs := dataset.GroupPairs(ts, g, perGroup, s.Opts.Seed+31)
+		if len(pairs) == 0 {
+			t.AddRow(g.Name, "n/a")
+			continue
+		}
+		means, _ := effectivenessOver(m, pairs, algs)
+		row := []string{fmt.Sprintf("%s[%d,%d)", g.Name, g.Lo, g.Hi)}
+		for i := range algs {
+			row = append(row, pct(means[i].RR))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig6QueryLenEfficiency regenerates Figure 6: mean per-pair search time per
+// query-length group.
+func (s *Suite) Fig6QueryLenEfficiency(kind dataset.Kind, measure string) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	algs, err := s.algoSet(kind, measure, m)
+	if err != nil {
+		return Table{}, err
+	}
+	ts := s.Dataset(kind)
+	t := Table{
+		Title:  fmt.Sprintf("Figure 6: search time by query length on %s (%s)", kind, measure),
+		Header: append([]string{"group"}, algoNames(algs)...),
+	}
+	perGroup := s.Opts.Pairs
+	for _, g := range dataset.PaperGroups() {
+		pairs := dataset.GroupPairs(ts, g, perGroup, s.Opts.Seed+37)
+		if len(pairs) == 0 {
+			t.AddRow(g.Name, "n/a")
+			continue
+		}
+		row := []string{fmt.Sprintf("%s[%d,%d)", g.Name, g.Lo, g.Hi)}
+		for _, a := range algs {
+			var tm metrics.Timer
+			for _, p := range pairs {
+				p := p
+				tm.Time(func() { a.Search(p.Data, p.Query) })
+			}
+			row = append(row, ms(tm.MeanMs()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table5SkipK regenerates Table 5: the effect of the skip parameter k on
+// RLS-Skip (AR, MR, RR, time, fraction of skipped points).
+func (s *Suite) Table5SkipK(kind dataset.Kind, measure string, ks []int) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	if len(ks) == 0 {
+		ks = []int{0, 1, 2, 3, 4, 5}
+	}
+	pairs := s.EffectivenessPairs(kind)
+	t := Table{
+		Title:  fmt.Sprintf("Table 5: effect of skipping steps k on %s (%s)", kind, measure),
+		Header: []string{"k", "AR", "MR", "RR", "time", "skip pts"},
+	}
+	for _, k := range ks {
+		p, _, err := s.Policy(kind, measure, k, false)
+		if err != nil {
+			return Table{}, err
+		}
+		alg := core.RLS{M: m, Policy: p}
+		var agg metrics.Agg
+		var tm metrics.Timer
+		var skipSum float64
+		var r core.Result
+		for _, pair := range pairs {
+			pair := pair
+			tm.Time(func() { r = alg.Search(pair.Data, pair.Query) })
+			agg.Add(metrics.Evaluate(m, pair.Data, pair.Query, r))
+			skipSum += core.SkippedFraction(m, p, pair.Data, pair.Query)
+		}
+		mean := agg.Mean()
+		t.AddRow(fmt.Sprintf("%d", k), f3(mean.AR), f1(mean.MR), pct(mean.RR),
+			ms(tm.MeanMs()), pct(skipSum/float64(len(pairs))))
+	}
+	return t, nil
+}
+
+// Fig7SizeSXi regenerates Figures 7/12: the effect of SizeS's soft margin ξ
+// on effectiveness and time, with ExactS as the reference row.
+func (s *Suite) Fig7SizeSXi(kind dataset.Kind, measure string, xis []int) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	if len(xis) == 0 {
+		xis = []int{0, 1, 2, 4, 8, 16}
+	}
+	pairs := s.EffectivenessPairs(kind)
+	t := Table{
+		Title:  fmt.Sprintf("Figure 7: effect of soft margin xi for SizeS on %s (%s)", kind, measure),
+		Header: []string{"xi", "AR", "MR", "RR", "time"},
+	}
+	algs := make([]core.Algorithm, 0, len(xis)+1)
+	for _, xi := range xis {
+		algs = append(algs, core.SizeS{M: m, Xi: xi})
+	}
+	algs = append(algs, core.ExactS{M: m})
+	means, times := effectivenessOver(m, pairs, algs)
+	for i, xi := range xis {
+		t.AddRow(fmt.Sprintf("%d", xi), f3(means[i].AR), f1(means[i].MR), pct(means[i].RR), ms(times[i]))
+	}
+	last := len(algs) - 1
+	t.AddRow("ExactS", f3(means[last].AR), f1(means[last].MR), pct(means[last].RR), ms(times[last]))
+	return t, nil
+}
+
+// Table6SimTra regenerates Table 6: whole-trajectory similarity search
+// (SimTra) against SimSub (RLS) across datasets and measures.
+func (s *Suite) Table6SimTra(kinds []dataset.Kind) (Table, error) {
+	if len(kinds) == 0 {
+		kinds = []dataset.Kind{dataset.Porto, dataset.Harbin, dataset.Sports}
+	}
+	t := Table{
+		Title:  "Table 6: SimTra vs SimSub (RLS)",
+		Header: []string{"dataset", "measure", "problem", "AR", "MR", "RR", "time"},
+	}
+	for _, kind := range kinds {
+		for _, mn := range MeasureNames() {
+			m, err := s.Measure(kind, mn)
+			if err != nil {
+				return Table{}, err
+			}
+			p, _, err := s.Policy(kind, mn, 0, false)
+			if err != nil {
+				return Table{}, err
+			}
+			pairs := s.EffectivenessPairs(kind)
+			algs := []core.Algorithm{core.SimTra{M: m}, core.RLS{M: m, Policy: p}}
+			means, times := effectivenessOver(m, pairs, algs)
+			labels := []string{"SimTra", "SimSub"}
+			for i := range algs {
+				t.AddRow(kind.String(), mn, labels[i],
+					f3(means[i].AR), f1(means[i].MR), pct(means[i].RR), ms(times[i]))
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig8UCRSpring regenerates Figures 8/13: UCR and Spring under varying band
+// width R, against RLS-Skip+ (suffix dropped, k=3).
+func (s *Suite) Fig8UCRSpring(kind dataset.Kind, bands []float64) (Table, error) {
+	m := sim.DTW{} // UCR and Spring are DTW-specific
+	if len(bands) == 0 {
+		bands = []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+	}
+	p, _, err := s.Policy(kind, "dtw", 3, true)
+	if err != nil {
+		return Table{}, err
+	}
+	pairs := s.EffectivenessPairs(kind)
+	t := Table{
+		Title:  fmt.Sprintf("Figure 8: UCR and Spring vs RLS-Skip+ on %s (DTW)", kind),
+		Header: []string{"method", "R", "AR", "MR", "RR", "time"},
+	}
+	addRow := func(label, r string, alg core.Algorithm) {
+		means, times := effectivenessOver(m, pairs, []core.Algorithm{alg})
+		t.AddRow(label, r, f3(means[0].AR), f1(means[0].MR), pct(means[0].RR), ms(times[0]))
+	}
+	addRow("RLS-Skip+", "-", core.RLS{M: m, Policy: p})
+	for _, r := range bands {
+		addRow("UCR", f3(r), core.UCR{Band: r})
+	}
+	for _, r := range bands {
+		addRow("Spring", f3(r), core.Spring{Band: r})
+	}
+	return t, nil
+}
+
+// Fig9RandomS regenerates Figures 9/14: Random-S under varying sample size,
+// against RLS-Skip.
+func (s *Suite) Fig9RandomS(kind dataset.Kind, sizes []int) (Table, error) {
+	m := sim.DTW{}
+	if len(sizes) == 0 {
+		sizes = []int{10, 20, 50, 100}
+	}
+	p, _, err := s.Policy(kind, "dtw", 3, false)
+	if err != nil {
+		return Table{}, err
+	}
+	pairs := s.EffectivenessPairs(kind)
+	t := Table{
+		Title:  fmt.Sprintf("Figure 9: Random-S vs RLS-Skip on %s (DTW)", kind),
+		Header: []string{"method", "samples", "AR", "MR", "RR", "time"},
+	}
+	algs := []core.Algorithm{core.RLS{M: m, Policy: p}}
+	labels := []string{"RLS-Skip"}
+	params := []string{"-"}
+	for _, sz := range sizes {
+		algs = append(algs, core.RandomS{M: m, Samples: sz, Seed: s.Opts.Seed})
+		labels = append(labels, "Random-S")
+		params = append(params, fmt.Sprintf("%d", sz))
+	}
+	means, times := effectivenessOver(m, pairs, algs)
+	for i := range algs {
+		t.AddRow(labels[i], params[i], f3(means[i].AR), f1(means[i].MR), pct(means[i].RR), ms(times[i]))
+	}
+	return t, nil
+}
+
+// Table7TrainingTime regenerates Table 7: DQN training time for RLS and
+// RLS-Skip per dataset and measure (at the suite's scaled-down episode
+// count).
+func (s *Suite) Table7TrainingTime(kinds []dataset.Kind) (Table, error) {
+	if len(kinds) == 0 {
+		kinds = []dataset.Kind{dataset.Porto, dataset.Harbin, dataset.Sports}
+	}
+	t := Table{
+		Title:  "Table 7: policy training time",
+		Header: []string{"dataset", "measure", "RLS", "RLS-Skip"},
+		Notes: []string{
+			fmt.Sprintf("%d episodes per policy (paper trains on 25k pairs for hours)", s.Opts.Episodes),
+		},
+	}
+	for _, kind := range kinds {
+		for _, mn := range MeasureNames() {
+			_, d0, err := s.Policy(kind, mn, 0, false)
+			if err != nil {
+				return Table{}, err
+			}
+			_, d3, err := s.Policy(kind, mn, 3, false)
+			if err != nil {
+				return Table{}, err
+			}
+			t.AddRow(kind.String(), mn, d0.Round(time.Millisecond).String(), d3.Round(time.Millisecond).String())
+		}
+	}
+	return t, nil
+}
+
+// AblationDelay sweeps POS-D's delay parameter D (a DESIGN.md ablation).
+func (s *Suite) AblationDelay(kind dataset.Kind, measure string, ds []int) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	if len(ds) == 0 {
+		ds = []int{0, 1, 3, 5, 7, 10}
+	}
+	pairs := s.EffectivenessPairs(kind)
+	algs := make([]core.Algorithm, len(ds))
+	for i, d := range ds {
+		algs[i] = core.POSD{M: m, D: d}
+	}
+	means, times := effectivenessOver(m, pairs, algs)
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: POS-D delay on %s (%s)", kind, measure),
+		Header: []string{"D", "AR", "MR", "RR", "time"},
+	}
+	for i, d := range ds {
+		t.AddRow(fmt.Sprintf("%d", d), f3(means[i].AR), f1(means[i].MR), pct(means[i].RR), ms(times[i]))
+	}
+	return t, nil
+}
+
+// AblationIncremental contrasts ExactS's incremental similarity maintenance
+// with recomputation from scratch, validating the Φinc analysis of §4.1.
+func (s *Suite) AblationIncremental(kind dataset.Kind, measure string) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	pairs := s.EffectivenessPairs(kind)
+	var incT, scratchT metrics.Timer
+	for _, p := range pairs {
+		p := p
+		incT.Time(func() { (core.ExactS{M: m}).Search(p.Data, p.Query) })
+		scratchT.Time(func() { exactFromScratch(m, p.Data, p.Query) })
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: incremental vs from-scratch ExactS on %s (%s)", kind, measure),
+		Header: []string{"variant", "time"},
+	}
+	t.AddRow("incremental (Alg. 1)", ms(incT.MeanMs()))
+	t.AddRow("from scratch", ms(scratchT.MeanMs()))
+	return t, nil
+}
+
+// exactFromScratch is the strawman exact search recomputing every
+// subtrajectory distance from scratch: O(n²·Φ).
+func exactFromScratch(m sim.Measure, t, q traj.Trajectory) core.Result {
+	n := t.Len()
+	best := core.Result{Dist: float64(1<<62) * 1e18}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if d := m.Dist(t.Sub(i, j), q); d < best.Dist {
+				best.Dist = d
+				best.Interval = traj.Interval{I: i, J: j}
+			}
+		}
+	}
+	return best
+}
+
+// AblationSkipState contrasts RLS-Skip's simplified state maintenance with
+// full-state maintenance at the same skip policy (§5.4's design argument).
+func (s *Suite) AblationSkipState(kind dataset.Kind, measure string) (Table, error) {
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return Table{}, err
+	}
+	p, _, err := s.Policy(kind, measure, 3, false)
+	if err != nil {
+		return Table{}, err
+	}
+	full := *p
+	full.SimplifyState = false
+	pairs := s.EffectivenessPairs(kind)
+	algs := []core.Algorithm{
+		core.RLS{M: m, Policy: p},
+		core.RLS{M: m, Policy: &full},
+	}
+	means, times := effectivenessOver(m, pairs, algs)
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: RLS-Skip state maintenance on %s (%s)", kind, measure),
+		Header: []string{"state", "AR", "MR", "RR", "time"},
+	}
+	labels := []string{"simplified (paper §5.4)", "full"}
+	for i := range algs {
+		t.AddRow(labels[i], f3(means[i].AR), f1(means[i].MR), pct(means[i].RR), ms(times[i]))
+	}
+	return t, nil
+}
+
+// FutureWorkCDTW explores the constrained DTW distance for SimSub, the
+// measurement the paper's conclusion names as future work. CDTW has no
+// O(m) incremental extension (the band depends on the subtrajectory
+// length), so the table contrasts ExactS and SizeS under CDTW with the
+// unconstrained-DTW baseline: the effectiveness gap shows how much the
+// band changes the answer, the time gap what the missing Φinc costs.
+func (s *Suite) FutureWorkCDTW(kind dataset.Kind, r float64) (Table, error) {
+	pairs := s.EffectivenessPairs(kind)
+	if len(pairs) > 10 {
+		pairs = pairs[:10] // CDTW's Φinc = Φ makes enumeration expensive
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Future work: constrained DTW (R=%.2f) on %s", r, kind),
+		Header: []string{"measure", "algorithm", "AR", "MR", "RR", "time"},
+		Notes:  []string{"CDTW has no O(m) incremental extension; ExactS pays Φ per step"},
+	}
+	for _, mrow := range []struct {
+		name string
+		m    sim.Measure
+	}{{"dtw", sim.DTW{}}, {"cdtw", sim.CDTW{R: r}}} {
+		algs := []core.Algorithm{
+			core.ExactS{M: mrow.m},
+			core.SizeS{M: mrow.m, Xi: 5},
+		}
+		means, times := effectivenessOver(mrow.m, pairs, algs)
+		for i, a := range algs {
+			t.AddRow(mrow.name, a.Name(), f3(means[i].AR), f1(means[i].MR), pct(means[i].RR), ms(times[i]))
+		}
+	}
+	return t, nil
+}
+
+// policyFor exposes suite policies to external callers (the public API and
+// examples) without re-training.
+func (s *Suite) PolicyFor(kind dataset.Kind, measure string, k int) (*rl.Policy, error) {
+	p, _, err := s.Policy(kind, measure, k, false)
+	return p, err
+}

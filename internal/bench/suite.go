@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"simsub/internal/dataset"
+	"simsub/internal/rl"
+	"simsub/internal/sim"
+	"simsub/internal/t2vec"
+	"simsub/internal/traj"
+)
+
+// Options scales the experiment suite. The paper runs 10,000 pairs over
+// millions of trajectories on a GPU server; the defaults here are
+// laptop-scale and every knob can be raised toward paper scale.
+type Options struct {
+	// Pairs is the number of (data, query) pairs per effectiveness
+	// experiment (paper: 10,000; default 30).
+	Pairs int
+	// DatasetN is the number of trajectories generated per dataset
+	// (default 150).
+	DatasetN int
+	// DBSizes are the database sizes (in trajectories) of the efficiency
+	// sweep (default 50, 100, 200, 400).
+	DBSizes []int
+	// EffQueries is the number of queries averaged per efficiency point
+	// (paper: 10; default 3).
+	EffQueries int
+	// TopK is the k of the efficiency top-k query (paper: 50).
+	TopK int
+	// Episodes is the DQN training episode count per policy (default 150).
+	Episodes int
+	// TrainPool is the number of trajectories in each RL training pool
+	// (default 60).
+	TrainPool int
+	// T2vecEpochs trains the t2vec encoder (default 3).
+	T2vecEpochs int
+	// MaxQueryLen clips query trajectories in effectiveness pairs to keep
+	// exact-ranking evaluation affordable (0 = no clipping; default 40).
+	MaxQueryLen int
+	// Seed seeds everything (default 1).
+	Seed int64
+	// Verbose, when non-nil, receives progress lines.
+	Verbose func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.Pairs == 0 {
+		o.Pairs = 30
+	}
+	if o.DatasetN == 0 {
+		o.DatasetN = 150
+	}
+	if len(o.DBSizes) == 0 {
+		o.DBSizes = []int{50, 100, 200, 400}
+	}
+	if o.EffQueries == 0 {
+		o.EffQueries = 3
+	}
+	if o.TopK == 0 {
+		o.TopK = 50
+	}
+	if o.Episodes == 0 {
+		o.Episodes = 150
+	}
+	if o.TrainPool == 0 {
+		o.TrainPool = 60
+	}
+	if o.T2vecEpochs == 0 {
+		o.T2vecEpochs = 3
+	}
+	if o.MaxQueryLen == 0 {
+		o.MaxQueryLen = 40
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Suite caches datasets, trained t2vec models and trained DQN policies
+// across experiments. It is safe for concurrent use.
+type Suite struct {
+	Opts Options
+
+	mu        sync.Mutex
+	datasets  map[dataset.Kind][]traj.Trajectory
+	t2vecs    map[dataset.Kind]*t2vec.Model
+	policies  map[policyKey]*rl.Policy
+	trainTime map[policyKey]time.Duration
+}
+
+type policyKey struct {
+	kind      dataset.Kind
+	measure   string
+	k         int
+	useSuffix bool
+}
+
+// NewSuite builds a suite with the given options (zero values filled with
+// defaults).
+func NewSuite(opts Options) *Suite {
+	opts.fill()
+	return &Suite{
+		Opts:      opts,
+		datasets:  map[dataset.Kind][]traj.Trajectory{},
+		t2vecs:    map[dataset.Kind]*t2vec.Model{},
+		policies:  map[policyKey]*rl.Policy{},
+		trainTime: map[policyKey]time.Duration{},
+	}
+}
+
+func (s *Suite) logf(format string, args ...any) {
+	if s.Opts.Verbose != nil {
+		s.Opts.Verbose(format, args...)
+	}
+}
+
+// Dataset returns (generating once) the synthetic database for a kind.
+func (s *Suite) Dataset(kind dataset.Kind) []traj.Trajectory {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts, ok := s.datasets[kind]; ok {
+		return ts
+	}
+	s.logf("generating %s dataset (%d trajectories)", kind, s.Opts.DatasetN)
+	ts := dataset.Generate(dataset.Config{Kind: kind, N: s.Opts.DatasetN, Seed: s.Opts.Seed})
+	s.datasets[kind] = ts
+	return ts
+}
+
+// MeasureNames lists the three measures of the paper's evaluation.
+func MeasureNames() []string { return []string{"t2vec", "dtw", "frechet"} }
+
+// Measure returns the measure instance for a dataset: DTW and Fréchet are
+// stateless; t2vec is trained once per dataset on its trajectories.
+func (s *Suite) Measure(kind dataset.Kind, name string) (sim.Measure, error) {
+	switch name {
+	case "dtw":
+		return sim.DTW{}, nil
+	case "frechet":
+		return sim.Frechet{}, nil
+	case "t2vec":
+		return s.t2vecModel(kind)
+	}
+	return nil, fmt.Errorf("bench: unknown measure %q", name)
+}
+
+func (s *Suite) t2vecModel(kind dataset.Kind) (*t2vec.Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.t2vecs[kind]; ok {
+		return m, nil
+	}
+	ts, ok := s.datasets[kind]
+	if !ok {
+		ts = dataset.Generate(dataset.Config{Kind: kind, N: s.Opts.DatasetN, Seed: s.Opts.Seed})
+		s.datasets[kind] = ts
+	}
+	train := ts
+	if len(train) > 100 {
+		train = train[:100]
+	}
+	s.logf("training t2vec on %s (%d trajectories, %d epochs)", kind, len(train), s.Opts.T2vecEpochs)
+	m, _, err := t2vec.Train(train, t2vec.TrainConfig{
+		Hidden: 16, Epochs: s.Opts.T2vecEpochs, Seed: s.Opts.Seed, MaxLen: 48,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.t2vecs[kind] = m
+	return m, nil
+}
+
+// UseSuffixFor mirrors the paper's configuration: the Θsuf state component
+// is dropped for t2vec (§6.1) because reversed-suffix similarity is only
+// approximate there.
+func UseSuffixFor(measure string) bool { return measure != "t2vec" }
+
+// Policy returns (training once) a DQN policy for the dataset, measure and
+// skip parameter k. useSuffix follows UseSuffixFor unless overridden with
+// forceNoSuffix (for RLS-Skip+).
+func (s *Suite) Policy(kind dataset.Kind, measure string, k int, forceNoSuffix bool) (*rl.Policy, time.Duration, error) {
+	useSuffix := UseSuffixFor(measure) && !forceNoSuffix
+	key := policyKey{kind: kind, measure: measure, k: k, useSuffix: useSuffix}
+	s.mu.Lock()
+	if p, ok := s.policies[key]; ok {
+		d := s.trainTime[key]
+		s.mu.Unlock()
+		return p, d, nil
+	}
+	s.mu.Unlock()
+
+	m, err := s.Measure(kind, measure)
+	if err != nil {
+		return nil, 0, err
+	}
+	ts := s.Dataset(kind)
+	pool := s.Opts.TrainPool
+	if pool > len(ts) {
+		pool = len(ts)
+	}
+	pairs := dataset.Pairs(ts, pool, 0, s.Opts.MaxQueryLen, s.Opts.Seed+int64(100*k))
+	data := make([]traj.Trajectory, len(pairs))
+	queries := make([]traj.Trajectory, len(pairs))
+	for i, p := range pairs {
+		data[i] = p.Data
+		queries[i] = p.Query
+	}
+	s.logf("training policy %s/%s k=%d suffix=%v (%d episodes)", kind, measure, k, useSuffix, s.Opts.Episodes)
+	p, stats, err := rl.Train(data, queries, m, rl.Config{
+		K:             k,
+		UseSuffix:     useSuffix,
+		SimplifyState: k > 0,
+		Episodes:      s.Opts.Episodes,
+		Seed:          s.Opts.Seed + int64(k) + 7,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	s.policies[key] = p
+	s.trainTime[key] = stats.Duration
+	s.mu.Unlock()
+	return p, stats.Duration, nil
+}
+
+// EffectivenessPairs returns the evaluation pairs for a dataset.
+func (s *Suite) EffectivenessPairs(kind dataset.Kind) []dataset.Pair {
+	return dataset.Pairs(s.Dataset(kind), s.Opts.Pairs, 2, s.Opts.MaxQueryLen, s.Opts.Seed+13)
+}

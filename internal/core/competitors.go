@@ -1,0 +1,481 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"simsub/internal/geo"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// This file implements the competitor methods of §6.1: Spring, UCR
+// (adapted per Appendix C), Random-S and SimTra.
+
+// Spring is the SPRING algorithm (Sakurai et al., ICDE 2007): dynamic
+// programming for DTW subsequence matching with a star-padded prefix, which
+// finds the subsequence of T minimizing DTW against Q in O(n·m) time. It is
+// specific to the DTW distance.
+//
+// Band, in (0,1], restricts alignment the way Figure 8 does: query point q_j
+// may only align with data point p_i when the subsequence-local index of p_i
+// is within Band·m of j (the start pointer each DP cell already carries
+// supplies the local index). Band = 1 is the unconstrained algorithm.
+type Spring struct {
+	// Band is the relative Sakoe-Chiba width R; values <= 0 or >= 1 mean
+	// unconstrained.
+	Band float64
+}
+
+// Name implements Algorithm.
+func (Spring) Name() string { return "Spring" }
+
+// Search implements Algorithm.
+func (a Spring) Search(t, q traj.Trajectory) Result {
+	n, m := t.Len(), q.Len()
+	inf := math.Inf(1)
+	banded := a.Band > 0 && a.Band < 1
+	w := 0
+	if banded {
+		w = int(math.Ceil(a.Band * float64(m)))
+		if w < 1 {
+			w = 1
+		}
+	}
+	// d[j], s[j]: DTW value and start index of the best warping path ending
+	// at (current i, j). Star padding: a path may start fresh at any i with
+	// prefix cost 0, i.e. the virtual column j=-1 is always 0.
+	d := make([]float64, m)
+	s := make([]int, m)
+	prevD := make([]float64, m)
+	prevS := make([]int, m)
+	for j := range prevD {
+		prevD[j] = inf
+	}
+	best := Result{Dist: inf}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			cost := geo.Dist(t.Pt(i), q.Pt(j))
+			var v float64
+			var st int
+			if j == 0 {
+				// fresh start beats any continuation with cost >= 0
+				v, st = 0, i
+				if prevD[0] < v { // pure vertical continuation (repeat q_0)
+					v, st = prevD[0], prevS[0]
+				}
+			} else {
+				v, st = prevD[j-1], prevS[j-1] // diagonal
+				if prevD[j] < v {
+					v, st = prevD[j], prevS[j] // vertical
+				}
+				if d[j-1] < v {
+					v, st = d[j-1], s[j-1] // horizontal
+				}
+			}
+			v += cost
+			if banded && !math.IsInf(v, 1) {
+				local := i - st
+				if abs(local-j) > w {
+					v = inf
+				}
+			}
+			d[j], s[j] = v, st
+		}
+		best.Explored++
+		if d[m-1] < best.Dist {
+			best.Dist = d[m-1]
+			best.Interval = traj.Interval{I: s[m-1], J: i}
+		}
+		d, prevD = prevD, d
+		s, prevS = prevS, s
+	}
+	return best
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// UCR is the UCR-suite subsequence search (Rakthanmanon et al., KDD 2012)
+// adapted to trajectories per Appendix C of the paper. It scores only the
+// n-m+1 windows of length exactly m under band-constrained DTW, pruning
+// with a cascade of lower bounds:
+//
+//	LB_KimFL (O(1) endpoints) → LB_Keogh over the query envelope with
+//	reordered early abandoning → reversed LB_Keogh over the data envelope →
+//	early-abandoning banded DTW.
+//
+// The just-in-time Z-normalization of the original suite does not apply to
+// two-dimensional trajectories (Appendix C) and is omitted.
+type UCR struct {
+	// Band is the relative Sakoe-Chiba width R in [0,1].
+	Band float64
+	// Counters, when non-nil, receives pruning statistics.
+	Counters *UCRCounters
+}
+
+// UCRCounters tallies where the pruning cascade disposed of each window.
+type UCRCounters struct {
+	Windows        int
+	PrunedKim      int
+	PrunedKeogh    int
+	PrunedKeoghRev int
+	AbandonedDTW   int
+	FullDTW        int
+}
+
+// Name implements Algorithm.
+func (UCR) Name() string { return "UCR" }
+
+// Search implements Algorithm. When t is shorter than q, the whole
+// trajectory is the only candidate.
+func (a UCR) Search(t, q traj.Trajectory) Result {
+	n, m := t.Len(), q.Len()
+	if n <= m {
+		return Result{
+			Interval: traj.Interval{I: 0, J: n - 1},
+			Dist:     bandDTWEarlyAbandon(t.Points, q, a.bandWidth(m), math.Inf(1)),
+			Explored: 1,
+		}
+	}
+	w := a.bandWidth(m)
+	qEnv := slidingMBR(q.Points, w)
+	tEnv := slidingMBR(t.Points, w)
+	order := keoghOrder(q)
+	best := Result{Dist: math.Inf(1)}
+	for s := 0; s+m <= n; s++ {
+		win := t.Points[s : s+m]
+		if a.Counters != nil {
+			a.Counters.Windows++
+		}
+		// LB_KimFL: first/last point distances are unavoidable costs
+		lbKim := geo.Dist(win[0], q.Pt(0)) + geo.Dist(win[m-1], q.Pt(m-1))
+		if lbKim > best.Dist {
+			if a.Counters != nil {
+				a.Counters.PrunedKim++
+			}
+			continue
+		}
+		// LB_Keogh against the query envelope, reordered, early abandoned
+		if lbKeogh(win, qEnv, order, best.Dist) > best.Dist {
+			if a.Counters != nil {
+				a.Counters.PrunedKeogh++
+			}
+			continue
+		}
+		// reversed LB_Keogh: roles swapped, window envelope vs query points
+		if lbKeoghRev(q, tEnv[s:s+m], order, best.Dist) > best.Dist {
+			if a.Counters != nil {
+				a.Counters.PrunedKeoghRev++
+			}
+			continue
+		}
+		d := bandDTWEarlyAbandon(win, q, w, best.Dist)
+		best.Explored++
+		if math.IsInf(d, 1) {
+			if a.Counters != nil {
+				a.Counters.AbandonedDTW++
+			}
+			continue
+		}
+		if a.Counters != nil {
+			a.Counters.FullDTW++
+		}
+		if d < best.Dist {
+			best.Dist = d
+			best.Interval = traj.Interval{I: s, J: s + m - 1}
+		}
+	}
+	if math.IsInf(best.Dist, 1) && n >= m {
+		// every window was abandoned against an infinite bsf only when the
+		// band made alignments unreachable; fall back to the first window
+		best.Interval = traj.Interval{I: 0, J: m - 1}
+		best.Dist = bandDTWEarlyAbandon(t.Points[0:m], q, w, math.Inf(1))
+	}
+	return best
+}
+
+func (a UCR) bandWidth(m int) int {
+	w := int(math.Ceil(a.Band * float64(m)))
+	if w < 1 {
+		w = 1
+	}
+	if w > m {
+		w = m
+	}
+	return w
+}
+
+// slidingMBR returns, for each index j, the MBR of pts[j-w .. j+w]
+// (clamped), computed in O(n) with monotonic deques — the 2-D analogue of
+// the UCR suite's streaming envelope.
+func slidingMBR(pts []geo.Point, w int) []geo.Rect {
+	n := len(pts)
+	out := make([]geo.Rect, n)
+	minX := newSlidingExtreme(n, func(a, b float64) bool { return a <= b })
+	maxX := newSlidingExtreme(n, func(a, b float64) bool { return a >= b })
+	minY := newSlidingExtreme(n, func(a, b float64) bool { return a <= b })
+	maxY := newSlidingExtreme(n, func(a, b float64) bool { return a >= b })
+	hi := -1
+	for j := 0; j < n; j++ {
+		lo := j - w
+		if lo < 0 {
+			lo = 0
+		}
+		for hi < j+w && hi < n-1 {
+			hi++
+			minX.push(hi, pts[hi].X)
+			maxX.push(hi, pts[hi].X)
+			minY.push(hi, pts[hi].Y)
+			maxY.push(hi, pts[hi].Y)
+		}
+		minX.evict(lo)
+		maxX.evict(lo)
+		minY.evict(lo)
+		maxY.evict(lo)
+		out[j] = geo.Rect{MinX: minX.front(), MinY: minY.front(), MaxX: maxX.front(), MaxY: maxY.front()}
+	}
+	return out
+}
+
+// slidingExtreme is a monotonic deque for sliding-window min/max.
+type slidingExtreme struct {
+	idx    []int
+	val    []float64
+	head   int
+	better func(a, b float64) bool
+}
+
+func newSlidingExtreme(capacity int, better func(a, b float64) bool) *slidingExtreme {
+	return &slidingExtreme{
+		idx:    make([]int, 0, capacity),
+		val:    make([]float64, 0, capacity),
+		better: better,
+	}
+}
+
+func (s *slidingExtreme) push(i int, v float64) {
+	for len(s.val) > s.head && s.better(v, s.val[len(s.val)-1]) {
+		s.val = s.val[:len(s.val)-1]
+		s.idx = s.idx[:len(s.idx)-1]
+	}
+	s.idx = append(s.idx, i)
+	s.val = append(s.val, v)
+}
+
+func (s *slidingExtreme) evict(lo int) {
+	for s.head < len(s.idx) && s.idx[s.head] < lo {
+		s.head++
+	}
+}
+
+func (s *slidingExtreme) front() float64 { return s.val[s.head] }
+
+// keoghOrder returns query indices sorted by decreasing distance from the
+// dataset centroid proxy (the query's own centroid): the adaptation of the
+// UCR suite's reordering heuristic (Appendix C sorts by distance to the
+// y-axis; we use the centroid, which is translation-invariant). Points far
+// from the centroid tend to contribute large envelope distances first,
+// making early abandonment trigger sooner.
+func keoghOrder(q traj.Trajectory) []int {
+	m := q.Len()
+	var cx, cy float64
+	for _, p := range q.Points {
+		cx += p.X
+		cy += p.Y
+	}
+	cx /= float64(m)
+	cy /= float64(m)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	key := make([]float64, m)
+	for i, p := range q.Points {
+		key[i] = geo.SqDist(p, geo.Point{X: cx, Y: cy})
+	}
+	// insertion sort by decreasing key (m is small)
+	for i := 1; i < m; i++ {
+		j := i
+		for j > 0 && key[order[j-1]] < key[order[j]] {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	return order
+}
+
+// lbKeogh accumulates Σ d(win[j], env[j]) in the given order, abandoning as
+// soon as the partial sum exceeds bsf.
+func lbKeogh(win []geo.Point, env []geo.Rect, order []int, bsf float64) float64 {
+	var lb float64
+	for _, j := range order {
+		lb += env[j].DistToPoint(win[j])
+		if lb > bsf {
+			return lb
+		}
+	}
+	return lb
+}
+
+// lbKeoghRev is lbKeogh with the roles reversed: query points against the
+// data envelope.
+func lbKeoghRev(q traj.Trajectory, env []geo.Rect, order []int, bsf float64) float64 {
+	var lb float64
+	for _, j := range order {
+		lb += env[j].DistToPoint(q.Pt(j))
+		if lb > bsf {
+			return lb
+		}
+	}
+	return lb
+}
+
+// bandDTWEarlyAbandon computes Sakoe-Chiba banded DTW between win and q
+// (equal-scale band |i-j| <= w), abandoning with +Inf once every cell of a
+// row exceeds bsf (no completion can then beat bsf, since costs only grow).
+func bandDTWEarlyAbandon(win []geo.Point, q traj.Trajectory, w int, bsf float64) float64 {
+	n, m := len(win), q.Len()
+	inf := math.Inf(1)
+	row := make([]float64, m)
+	for j := range row {
+		row[j] = inf
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := i-w, i+w
+		if n != m {
+			// rescale the band anchor for unequal lengths
+			c := 0
+			if n > 1 {
+				c = i * (m - 1) / (n - 1)
+			}
+			lo, hi = c-w, c+w
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > m-1 {
+			hi = m - 1
+		}
+		prevDiag := inf
+		rowMin := inf
+		for j := 0; j <= hi; j++ {
+			cur := row[j]
+			if j < lo {
+				prevDiag = cur
+				row[j] = inf
+				continue
+			}
+			var best float64
+			switch {
+			case i == 0 && j == 0:
+				best = 0
+			case i == 0:
+				best = row[j-1] // horizontal within first data point
+			case j == 0:
+				best = cur // vertical
+			default:
+				best = prevDiag
+				if cur < best {
+					best = cur
+				}
+				if row[j-1] < best {
+					best = row[j-1]
+				}
+			}
+			v := inf
+			if !math.IsInf(best, 1) {
+				v = best + geo.Dist(win[i], q.Pt(j))
+			}
+			prevDiag = cur
+			row[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		for j := hi + 1; j < m; j++ {
+			row[j] = inf
+		}
+		if rowMin > bsf {
+			return inf // early abandon: monotone costs cannot recover
+		}
+	}
+	return row[m-1]
+}
+
+// RandomS samples subtrajectories uniformly at random and returns the best,
+// the Random-S baseline of §6.1/Figure 9. Distances are computed from
+// scratch: the sampled subtrajectories share no structure that incremental
+// computation could exploit.
+type RandomS struct {
+	M sim.Measure
+	// Samples is the number of subtrajectories drawn.
+	Samples int
+	// Seed seeds the sampler; 0 uses a fixed default.
+	Seed int64
+}
+
+// Name implements Algorithm.
+func (RandomS) Name() string { return "Random-S" }
+
+// Search implements Algorithm.
+func (a RandomS) Search(t, q traj.Trajectory) Result {
+	n := t.Len()
+	total := n * (n + 1) / 2
+	seed := a.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	best := Result{Dist: math.Inf(1)}
+	for s := 0; s < a.Samples; s++ {
+		// uniform over all n(n+1)/2 subtrajectories: draw a flat index and
+		// unrank it to (i, j)
+		k := rng.Intn(total)
+		i, j := unrankSub(k, n)
+		d := a.M.Dist(t.Sub(i, j), q)
+		best.Explored++
+		if d < best.Dist {
+			best.Dist = d
+			best.Interval = traj.Interval{I: i, J: j}
+		}
+	}
+	return best
+}
+
+// unrankSub maps a flat index k in [0, n(n+1)/2) to the k-th subtrajectory
+// (i, j), enumerating by start index: start 0 owns n intervals, start 1 owns
+// n-1, and so on.
+func unrankSub(k, n int) (i, j int) {
+	i = 0
+	remaining := n
+	for k >= remaining {
+		k -= remaining
+		remaining--
+		i++
+	}
+	return i, i + k
+}
+
+// SimTra treats the whole data trajectory as the answer: the similar
+// trajectory search baseline of Table 6, which the paper contrasts with
+// SimSub to show whole-trajectory search is a poor subtrajectory proxy.
+type SimTra struct {
+	M sim.Measure
+}
+
+// Name implements Algorithm.
+func (SimTra) Name() string { return "SimTra" }
+
+// Search implements Algorithm.
+func (a SimTra) Search(t, q traj.Trajectory) Result {
+	return Result{
+		Interval: traj.Interval{I: 0, J: t.Len() - 1},
+		Dist:     a.M.Dist(t, q),
+		Explored: 1,
+	}
+}

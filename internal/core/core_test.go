@@ -1,0 +1,582 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"simsub/internal/geo"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+func randTraj(rng *rand.Rand, n int) traj.Trajectory {
+	pts := make([]geo.Point, n)
+	x, y := rng.Float64()*10, rng.Float64()*10
+	for i := range pts {
+		x += rng.NormFloat64()
+		y += rng.NormFloat64()
+		pts[i] = geo.Point{X: x, Y: y, T: float64(i)}
+	}
+	return traj.New(pts...)
+}
+
+// bruteBest finds the exact best subtrajectory by scoring every candidate
+// from scratch — the independent oracle for all algorithm tests.
+func bruteBest(m sim.Measure, t, q traj.Trajectory) (traj.Interval, float64) {
+	n := t.Len()
+	best := math.Inf(1)
+	var iv traj.Interval
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			d := m.Dist(t.Sub(i, j), q)
+			if d < best {
+				best = d
+				iv = traj.Interval{I: i, J: j}
+			}
+		}
+	}
+	return iv, best
+}
+
+func coreMeasures() []sim.Measure {
+	return []sim.Measure{sim.DTW{}, sim.Frechet{}, sim.ERP{}}
+}
+
+func TestExactSMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range coreMeasures() {
+		for trial := 0; trial < 10; trial++ {
+			data := randTraj(rng, rng.Intn(12)+2)
+			q := randTraj(rng, rng.Intn(6)+1)
+			got := (ExactS{M: m}).Search(data, q)
+			_, want := bruteBest(m, data, q)
+			if math.Abs(got.Dist-want) > 1e-9 {
+				t.Fatalf("%s: ExactS dist %v, brute force %v", m.Name(), got.Dist, want)
+			}
+			// the reported interval must actually achieve the distance
+			re := m.Dist(data.Sub(got.Interval.I, got.Interval.J), q)
+			if math.Abs(re-got.Dist) > 1e-9 {
+				t.Fatalf("%s: interval %v scores %v, reported %v", m.Name(), got.Interval, re, got.Dist)
+			}
+			if got.Explored != data.Len()*(data.Len()+1)/2 {
+				t.Errorf("%s: explored %d, want all %d", m.Name(), got.Explored, data.Len()*(data.Len()+1)/2)
+			}
+		}
+	}
+}
+
+func TestExactSFindsEmbeddedQuery(t *testing.T) {
+	// embed the query verbatim inside a longer trajectory: exact search must
+	// find it with distance 0
+	rng := rand.New(rand.NewSource(2))
+	q := randTraj(rng, 5)
+	prefix := randTraj(rng, 4).Translate(50, 50)
+	suffix := randTraj(rng, 6).Translate(-50, -50)
+	pts := append(append(append([]geo.Point{}, prefix.Points...), q.Points...), suffix.Points...)
+	data := traj.New(pts...)
+	got := (ExactS{M: sim.DTW{}}).Search(data, q)
+	if got.Dist > 1e-9 {
+		t.Fatalf("embedded query not found: dist %v at %v", got.Dist, got.Interval)
+	}
+	if got.Interval.I != 4 || got.Interval.J != 8 {
+		// distance 0 can also be achieved by stuttered alignments; accept
+		// any interval scoring 0 but report the canonical one if different
+		if d := sim.DTW.Dist(sim.DTW{}, data.Sub(got.Interval.I, got.Interval.J), q); d > 1e-9 {
+			t.Fatalf("returned interval %v does not score 0", got.Interval)
+		}
+	}
+}
+
+func TestSizeSRespectsSizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randTraj(rng, 20)
+	q := randTraj(rng, 6)
+	for _, xi := range []int{0, 2, 5} {
+		got := (SizeS{M: sim.DTW{}, Xi: xi}).Search(data, q)
+		size := got.Interval.Len()
+		lo, hi := q.Len()-xi, q.Len()+xi
+		if lo < 1 {
+			lo = 1
+		}
+		if size < lo || size > hi {
+			t.Errorf("xi=%d: returned size %d outside [%d,%d]", xi, size, lo, hi)
+		}
+	}
+}
+
+// naiveSizeS is an oracle computing the best subtrajectory of size within
+// [m-xi, m+xi] from scratch, with SizeS's documented whole-trajectory
+// fallback when the constraint is unsatisfiable.
+func naiveSizeS(m sim.Measure, t, q traj.Trajectory, xi int) float64 {
+	n := t.Len()
+	lo, hi := q.Len()-xi, q.Len()+xi
+	if lo < 1 {
+		lo = 1
+	}
+	if lo > n {
+		return m.Dist(t, q)
+	}
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if size := j - i + 1; size < lo || size > hi {
+				continue
+			}
+			if d := m.Dist(t.Sub(i, j), q); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func TestSizeSMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		data := randTraj(rng, rng.Intn(15)+3)
+		q := randTraj(rng, rng.Intn(5)+2)
+		for _, xi := range []int{0, 1, 3} {
+			got := (SizeS{M: sim.DTW{}, Xi: xi}).Search(data, q)
+			want := naiveSizeS(sim.DTW{}, data, q, xi)
+			if math.Abs(got.Dist-want) > 1e-9 {
+				t.Fatalf("trial %d xi=%d: SizeS %v, oracle %v", trial, xi, got.Dist, want)
+			}
+		}
+	}
+}
+
+func TestSizeSWithLargeXiEqualsExactS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randTraj(rng, 12)
+	q := randTraj(rng, 4)
+	exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+	sized := (SizeS{M: sim.DTW{}, Xi: data.Len()}).Search(data, q)
+	if math.Abs(exact.Dist-sized.Dist) > 1e-9 {
+		t.Errorf("SizeS with xi=n should equal ExactS: %v vs %v", sized.Dist, exact.Dist)
+	}
+}
+
+// naivePSS re-implements Algorithm 2 with from-scratch distance
+// computations, as an independent oracle for the incremental version.
+func naivePSS(m sim.Measure, t, q traj.Trajectory) (traj.Interval, float64) {
+	n := t.Len()
+	h := 0
+	best := math.Inf(1)
+	var iv traj.Interval
+	qr := q.Reverse()
+	for i := 0; i < n; i++ {
+		dPre := m.Dist(t.Sub(h, i), q)
+		dSuf := m.Dist(t.Sub(i, n-1).Reverse(), qr)
+		if math.Min(dPre, dSuf) < best {
+			if dPre <= dSuf {
+				best = dPre
+				iv = traj.Interval{I: h, J: i}
+			} else {
+				best = dSuf
+				iv = traj.Interval{I: i, J: n - 1}
+			}
+			h = i + 1
+		}
+	}
+	return iv, best
+}
+
+func TestPSSMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, m := range coreMeasures() {
+		for trial := 0; trial < 15; trial++ {
+			data := randTraj(rng, rng.Intn(15)+2)
+			q := randTraj(rng, rng.Intn(6)+1)
+			got := (PSS{M: m}).Search(data, q)
+			wantIv, wantD := naivePSS(m, data, q)
+			if math.Abs(got.Dist-wantD) > 1e-9 || got.Interval != wantIv {
+				t.Fatalf("%s trial %d: PSS %v@%v, naive %v@%v",
+					m.Name(), trial, got.Dist, got.Interval, wantD, wantIv)
+			}
+		}
+	}
+}
+
+// naivePOS re-implements POS/POS-D with from-scratch computations.
+func naivePOS(m sim.Measure, t, q traj.Trajectory, delay int) (traj.Interval, float64) {
+	n := t.Len()
+	h := 0
+	best := math.Inf(1)
+	var iv traj.Interval
+	for i := 0; i < n; i++ {
+		dPre := m.Dist(t.Sub(h, i), q)
+		if dPre < best {
+			bestJ, bestD := i, dPre
+			for d := 1; d <= delay && i+d < n; d++ {
+				ext := m.Dist(t.Sub(h, i+d), q)
+				if ext < bestD {
+					bestJ, bestD = i+d, ext
+				}
+			}
+			best = bestD
+			iv = traj.Interval{I: h, J: bestJ}
+			h = bestJ + 1
+			i = bestJ
+		}
+	}
+	return iv, best
+}
+
+func TestPOSMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range coreMeasures() {
+		for trial := 0; trial < 15; trial++ {
+			data := randTraj(rng, rng.Intn(15)+2)
+			q := randTraj(rng, rng.Intn(6)+1)
+			got := (POS{M: m}).Search(data, q)
+			wantIv, wantD := naivePOS(m, data, q, 0)
+			if math.Abs(got.Dist-wantD) > 1e-9 || got.Interval != wantIv {
+				t.Fatalf("%s trial %d: POS %v@%v, naive %v@%v",
+					m.Name(), trial, got.Dist, got.Interval, wantD, wantIv)
+			}
+		}
+	}
+}
+
+func TestPOSDMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		data := randTraj(rng, rng.Intn(15)+2)
+		q := randTraj(rng, rng.Intn(6)+1)
+		for _, d := range []int{1, 3, 5} {
+			got := (POSD{M: sim.DTW{}, D: d}).Search(data, q)
+			wantIv, wantD := naivePOS(sim.DTW{}, data, q, d)
+			if math.Abs(got.Dist-wantD) > 1e-9 || got.Interval != wantIv {
+				t.Fatalf("trial %d D=%d: POS-D %v@%v, naive %v@%v",
+					trial, d, got.Dist, got.Interval, wantD, wantIv)
+			}
+		}
+	}
+}
+
+func TestSplittingAlgorithmsNeverBeatExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		data := randTraj(rng, rng.Intn(15)+2)
+		q := randTraj(rng, rng.Intn(6)+1)
+		exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+		for _, a := range []Algorithm{
+			PSS{M: sim.DTW{}},
+			POS{M: sim.DTW{}},
+			POSD{M: sim.DTW{}, D: 5},
+			SizeS{M: sim.DTW{}, Xi: 3},
+		} {
+			got := a.Search(data, q)
+			if got.Dist < exact.Dist-1e-9 {
+				t.Errorf("%s returned %v better than exact %v", a.Name(), got.Dist, exact.Dist)
+			}
+			if !got.Interval.Valid(data.Len()) {
+				t.Errorf("%s returned invalid interval %v", a.Name(), got.Interval)
+			}
+		}
+	}
+}
+
+func TestPSSAdversarial(t *testing.T) {
+	// Appendix B, Case 1: T = <p'1, p'2, p1..pn, p'3> with p'1=(-d/2,0),
+	// p'2=(-d,0), pi=(0,0), p'3=(d,0) and Tq = <(0,eps)>. PSS splits at p'1
+	// and never again, returning <p'1>, while the optimum is any <pi>.
+	const d = 100.0
+	const eps = 1e-3
+	const n = 10
+	pts := []geo.Point{{X: -d / 2}, {X: -d}}
+	for i := 0; i < n; i++ {
+		pts = append(pts, geo.Point{})
+	}
+	pts = append(pts, geo.Point{X: d})
+	data := traj.New(pts...)
+	q := traj.New(geo.Point{X: 0, Y: eps})
+
+	exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+	if math.Abs(exact.Dist-eps) > 1e-9 {
+		t.Fatalf("exact dist = %v, want %v", exact.Dist, eps)
+	}
+	pss := (PSS{M: sim.DTW{}}).Search(data, q)
+	if pss.Interval != (traj.Interval{I: 0, J: 0}) {
+		t.Fatalf("PSS interval = %v, want [0,0] per Appendix B", pss.Interval)
+	}
+	if ratio := pss.Dist / exact.Dist; ratio < 100 {
+		t.Errorf("adversarial AR = %v, expected arbitrarily large", ratio)
+	}
+	// POS and POS-D behave identically on this input (Appendix B, Case 2)
+	for _, a := range []Algorithm{POS{M: sim.DTW{}}, POSD{M: sim.DTW{}, D: 5}} {
+		got := a.Search(data, q)
+		if got.Interval != (traj.Interval{I: 0, J: 0}) {
+			t.Errorf("%s interval = %v, want [0,0]", a.Name(), got.Interval)
+		}
+	}
+}
+
+func TestSizeSAdversarial(t *testing.T) {
+	// Appendix A flavor: the optimal subtrajectory is a single point but
+	// SizeS with xi=0 must return a length-m window, which can be
+	// arbitrarily worse.
+	data := traj.FromXY(0, 0, 100, 0, 0.001, 0, -100, 0, 50, 50)
+	q := traj.FromXY(0, 0, 0, 0, 0, 0) // m = 3, best single point is p3
+	exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+	sized := (SizeS{M: sim.DTW{}, Xi: 0}).Search(data, q)
+	if sized.Interval.Len() != 3 {
+		t.Fatalf("SizeS xi=0 returned size %d, want exactly m=3", sized.Interval.Len())
+	}
+	if sized.Dist < 10*exact.Dist {
+		t.Errorf("expected SizeS to be much worse: exact %v, SizeS %v", exact.Dist, sized.Dist)
+	}
+}
+
+func TestSpringMatchesExactDTW(t *testing.T) {
+	// SPRING is exact for DTW subsequence matching: its distance must equal
+	// ExactS under DTW (intervals may differ on ties).
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		data := randTraj(rng, rng.Intn(20)+2)
+		q := randTraj(rng, rng.Intn(6)+1)
+		spring := (Spring{}).Search(data, q)
+		exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+		if math.Abs(spring.Dist-exact.Dist) > 1e-9 {
+			t.Fatalf("trial %d: Spring %v, ExactS %v", trial, spring.Dist, exact.Dist)
+		}
+		// the returned interval must achieve the distance
+		re := (sim.DTW{}).Dist(data.Sub(spring.Interval.I, spring.Interval.J), q)
+		if math.Abs(re-spring.Dist) > 1e-9 {
+			t.Fatalf("trial %d: Spring interval %v scores %v, reported %v",
+				trial, spring.Interval, re, spring.Dist)
+		}
+	}
+}
+
+func TestSpringBandDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := randTraj(rng, 25)
+	q := randTraj(rng, 8)
+	exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+	for _, r := range []float64{0.1, 0.3, 0.6, 1} {
+		got := (Spring{Band: r}).Search(data, q)
+		if got.Dist < exact.Dist-1e-9 {
+			t.Errorf("Spring band %v beat exact: %v < %v", r, got.Dist, exact.Dist)
+		}
+		if !got.Interval.Valid(data.Len()) {
+			t.Errorf("Spring band %v returned invalid interval", r)
+		}
+	}
+}
+
+// bruteUCR is the oracle for UCR: minimum banded DTW over all windows of
+// length exactly m.
+func bruteUCR(t, q traj.Trajectory, band float64) float64 {
+	n, m := t.Len(), q.Len()
+	w := int(math.Ceil(band * float64(m)))
+	if w < 1 {
+		w = 1
+	}
+	if w > m {
+		w = m
+	}
+	best := math.Inf(1)
+	for s := 0; s+m <= n; s++ {
+		d := bandDTWEarlyAbandon(t.Points[s:s+m], q, w, math.Inf(1))
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestUCRMatchesWindowOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		data := randTraj(rng, rng.Intn(30)+10)
+		q := randTraj(rng, rng.Intn(6)+3)
+		for _, r := range []float64{0.1, 0.5, 1} {
+			got := (UCR{Band: r}).Search(data, q)
+			want := bruteUCR(data, q, r)
+			if math.Abs(got.Dist-want) > 1e-9 {
+				t.Fatalf("trial %d R=%v: UCR %v, oracle %v", trial, r, got.Dist, want)
+			}
+			if got.Interval.Len() != q.Len() {
+				t.Fatalf("UCR returned size %d, want m=%d", got.Interval.Len(), q.Len())
+			}
+		}
+	}
+}
+
+func TestUCRPruningActuallyFires(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := randTraj(rng, 300)
+	q := randTraj(rng, 12)
+	counters := &UCRCounters{}
+	(UCR{Band: 0.3, Counters: counters}).Search(data, q)
+	if counters.Windows != data.Len()-q.Len()+1 {
+		t.Errorf("windows = %d, want %d", counters.Windows, data.Len()-q.Len()+1)
+	}
+	pruned := counters.PrunedKim + counters.PrunedKeogh + counters.PrunedKeoghRev + counters.AbandonedDTW
+	if pruned == 0 {
+		t.Error("expected at least one window pruned by the cascade")
+	}
+	if counters.FullDTW+pruned != counters.Windows {
+		t.Errorf("counter accounting broken: %+v", counters)
+	}
+}
+
+func TestUCRShortTrajectory(t *testing.T) {
+	data := traj.FromXY(0, 0, 1, 1)
+	q := traj.FromXY(0, 0, 1, 1, 2, 2)
+	got := (UCR{Band: 1}).Search(data, q)
+	if got.Interval != (traj.Interval{I: 0, J: 1}) {
+		t.Errorf("short trajectory interval = %v", got.Interval)
+	}
+}
+
+func TestSlidingMBR(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 2, Y: 1}, {X: -1, Y: 3}, {X: 4, Y: -2}, {X: 1, Y: 1}}
+	w := 1
+	got := slidingMBR(pts, w)
+	for j := range pts {
+		lo, hi := j-w, j+w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(pts)-1 {
+			hi = len(pts) - 1
+		}
+		want := geo.MBR(pts[lo : hi+1])
+		if got[j] != want {
+			t.Errorf("slidingMBR[%d] = %v, want %v", j, got[j], want)
+		}
+	}
+}
+
+func TestSlidingMBRLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pts := randTraj(rng, 200).Points
+	for _, w := range []int{1, 5, 50, 300} {
+		got := slidingMBR(pts, w)
+		for j := 0; j < len(pts); j += 17 {
+			lo, hi := j-w, j+w
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(pts)-1 {
+				hi = len(pts) - 1
+			}
+			want := geo.MBR(pts[lo : hi+1])
+			if got[j] != want {
+				t.Fatalf("w=%d: slidingMBR[%d] = %v, want %v", w, j, got[j], want)
+			}
+		}
+	}
+}
+
+func TestUnrankSubCoversAllPairs(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9} {
+		total := n * (n + 1) / 2
+		seen := map[[2]int]bool{}
+		for k := 0; k < total; k++ {
+			i, j := unrankSub(k, n)
+			if i < 0 || j < i || j >= n {
+				t.Fatalf("n=%d k=%d: invalid pair (%d,%d)", n, k, i, j)
+			}
+			if seen[[2]int{i, j}] {
+				t.Fatalf("n=%d: duplicate pair (%d,%d)", n, i, j)
+			}
+			seen[[2]int{i, j}] = true
+		}
+		if len(seen) != total {
+			t.Fatalf("n=%d: covered %d pairs, want %d", n, len(seen), total)
+		}
+	}
+}
+
+func TestRandomS(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	data := randTraj(rng, 15)
+	q := randTraj(rng, 5)
+	exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+	total := data.Len() * (data.Len() + 1) / 2
+	// sampling more than the population (with replacement) almost surely
+	// gets close to exact; sampling 1 cannot beat exact
+	small := (RandomS{M: sim.DTW{}, Samples: 1, Seed: 7}).Search(data, q)
+	if small.Dist < exact.Dist-1e-9 {
+		t.Errorf("Random-S beat exact: %v < %v", small.Dist, exact.Dist)
+	}
+	if small.Explored != 1 {
+		t.Errorf("explored = %d, want 1", small.Explored)
+	}
+	big := (RandomS{M: sim.DTW{}, Samples: total * 20, Seed: 7}).Search(data, q)
+	if big.Dist > exact.Dist+1e-9 && big.Dist/exact.Dist > 1.5 {
+		t.Errorf("Random-S with heavy sampling far from exact: %v vs %v", big.Dist, exact.Dist)
+	}
+	// deterministic given the seed
+	again := (RandomS{M: sim.DTW{}, Samples: total * 20, Seed: 7}).Search(data, q)
+	if again.Dist != big.Dist || again.Interval != big.Interval {
+		t.Error("Random-S is not deterministic for a fixed seed")
+	}
+}
+
+func TestSimTra(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	data := randTraj(rng, 10)
+	q := randTraj(rng, 4)
+	got := (SimTra{M: sim.DTW{}}).Search(data, q)
+	if got.Interval != (traj.Interval{I: 0, J: 9}) {
+		t.Errorf("SimTra interval = %v, want whole trajectory", got.Interval)
+	}
+	if want := (sim.DTW{}).Dist(data, q); math.Abs(got.Dist-want) > 1e-12 {
+		t.Errorf("SimTra dist = %v, want %v", got.Dist, want)
+	}
+}
+
+func TestExactDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := randTraj(rng, 8)
+	q := randTraj(rng, 3)
+	r := Result{Interval: traj.Interval{I: 2, J: 5}}
+	want := (sim.DTW{}).Dist(data.Sub(2, 5), q)
+	if got := ExactDist(sim.DTW{}, data, q, r); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExactDist = %v, want %v", got, want)
+	}
+	bad := Result{Interval: traj.Interval{I: 5, J: 2}}
+	if got := ExactDist(sim.DTW{}, data, q, bad); !math.IsInf(got, 1) {
+		t.Errorf("ExactDist of invalid interval = %v, want +Inf", got)
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	cases := map[string]Algorithm{
+		"ExactS":   ExactS{},
+		"SizeS":    SizeS{},
+		"PSS":      PSS{},
+		"POS":      POS{},
+		"POS-D":    POSD{},
+		"Spring":   Spring{},
+		"UCR":      UCR{},
+		"Random-S": RandomS{},
+		"SimTra":   SimTra{},
+	}
+	for want, a := range cases {
+		if got := a.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSizeSQueryLongerThanData(t *testing.T) {
+	// when m - xi > n no subtrajectory satisfies the size constraint; SizeS
+	// must still return a valid, correctly scored interval (the whole
+	// trajectory) rather than an unevaluated zero value
+	data := traj.FromXY(0, 0, 1, 0)
+	q := traj.FromXY(0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0)
+	got := (SizeS{M: sim.DTW{}, Xi: 1}).Search(data, q)
+	if got.Interval != (traj.Interval{I: 0, J: 1}) {
+		t.Fatalf("interval = %v, want whole trajectory", got.Interval)
+	}
+	want := (sim.DTW{}).Dist(data, q)
+	if math.Abs(got.Dist-want) > 1e-12 {
+		t.Errorf("dist = %v, want %v", got.Dist, want)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"simsub/internal/index"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// Database is a collection of data trajectories with an optional MBR R-tree
+// for pruning (§6.2(4)): a query first discards every trajectory whose MBR
+// does not intersect the query's MBR. The paper notes this pruning can in
+// principle drop the true best subtrajectory but rarely does in practice
+// (and never did for DTW/Fréchet in its experiments).
+type Database struct {
+	trajs []traj.Trajectory
+	tree  *index.RTree
+	grid  *index.GridIndex
+}
+
+// IndexKind selects the pruning structure of a Database.
+type IndexKind int
+
+// Index kinds: none, the MBR R-tree of §6.2(4), or the inverted grid file
+// alternative mentioned in §3.1.
+const (
+	NoIndex IndexKind = iota
+	RTreeIndex
+	GridFileIndex
+)
+
+// NewDatabase builds a database; withIndex controls whether the R-tree is
+// constructed (bulk-loaded, fan-out 32).
+func NewDatabase(ts []traj.Trajectory, withIndex bool) *Database {
+	kind := NoIndex
+	if withIndex {
+		kind = RTreeIndex
+	}
+	return NewDatabaseIndexed(ts, kind)
+}
+
+// NewDatabaseIndexed builds a database with the chosen index kind.
+func NewDatabaseIndexed(ts []traj.Trajectory, kind IndexKind) *Database {
+	db := &Database{trajs: ts}
+	switch kind {
+	case RTreeIndex:
+		entries := make([]index.Entry, len(ts))
+		for i, t := range ts {
+			entries[i] = index.Entry{Rect: t.MBR(), Ref: i}
+		}
+		db.tree = index.BulkLoad(entries, 32)
+	case GridFileIndex:
+		db.grid = index.NewGridIndex(ts, 32)
+	}
+	return db
+}
+
+// Len returns the number of data trajectories.
+func (db *Database) Len() int { return len(db.trajs) }
+
+// Traj returns the i-th data trajectory.
+func (db *Database) Traj(i int) traj.Trajectory { return db.trajs[i] }
+
+// HasIndex reports whether a pruning index was built.
+func (db *Database) HasIndex() bool { return db.tree != nil || db.grid != nil }
+
+// Candidates returns the indices of trajectories surviving index pruning
+// for the query (all indices when no index was built).
+func (db *Database) Candidates(q traj.Trajectory) []int {
+	switch {
+	case db.tree != nil:
+		return db.tree.Search(q.MBR(), nil)
+	case db.grid != nil:
+		return db.grid.Candidates(q)
+	default:
+		out := make([]int, len(db.trajs))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+}
+
+// Match is one ranked answer of a top-k query.
+type Match struct {
+	// TrajIndex is the position of the data trajectory in the database.
+	TrajIndex int
+	// Result locates the subtrajectory within that trajectory.
+	Result Result
+}
+
+// TopK runs the algorithm over every candidate trajectory and returns the k
+// best matches ordered by ascending distance. With the index enabled,
+// candidates are limited to MBR-intersecting trajectories.
+func (db *Database) TopK(alg Algorithm, q traj.Trajectory, k int) []Match {
+	cands := db.Candidates(q)
+	matches := make([]Match, 0, len(cands))
+	for _, ci := range cands {
+		t := db.trajs[ci]
+		if t.Len() == 0 {
+			continue
+		}
+		matches = append(matches, Match{TrajIndex: ci, Result: alg.Search(t, q)})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		return matches[i].Result.Dist < matches[j].Result.Dist
+	})
+	if k < len(matches) {
+		matches = matches[:k]
+	}
+	return matches
+}
+
+// TopKParallel is TopK with the per-trajectory searches fanned out over
+// workers goroutines (0 = GOMAXPROCS). The algorithm and measure must be
+// safe for concurrent use; every algorithm and measure in this library is.
+func (db *Database) TopKParallel(alg Algorithm, q traj.Trajectory, k, workers int) []Match {
+	cands := db.Candidates(q)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		return db.TopK(alg, q, k)
+	}
+	matches := make([]Match, len(cands))
+	valid := make([]bool, len(cands))
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				t := db.trajs[cands[i]]
+				if t.Len() == 0 {
+					continue
+				}
+				matches[i] = Match{TrajIndex: cands[i], Result: alg.Search(t, q)}
+				valid[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+	out := matches[:0]
+	for i := range matches {
+		if valid[i] {
+			out = append(out, matches[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Result.Dist < out[j].Result.Dist })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Best returns the single best match (TopK with k = 1); ok is false when
+// the database holds no candidates.
+func (db *Database) Best(alg Algorithm, q traj.Trajectory) (Match, bool) {
+	top := db.TopK(alg, q, 1)
+	if len(top) == 0 {
+		return Match{}, false
+	}
+	return top[0], true
+}
+
+// AlgorithmFor builds the named algorithm over a measure with reasonable
+// defaults. Names: exacts, sizes, pss, pos, pos-d, spring, ucr, random-s,
+// simtra. RLS variants require a policy and are constructed directly.
+func AlgorithmFor(name string, m sim.Measure) (Algorithm, bool) {
+	switch name {
+	case "exacts":
+		return ExactS{M: m}, true
+	case "sizes":
+		return SizeS{M: m, Xi: 5}, true
+	case "pss":
+		return PSS{M: m}, true
+	case "pos":
+		return POS{M: m}, true
+	case "pos-d", "posd":
+		return POSD{M: m, D: 5}, true
+	case "spring":
+		return Spring{}, true
+	case "ucr":
+		return UCR{Band: 1}, true
+	case "random-s", "randoms":
+		return RandomS{M: m, Samples: 50}, true
+	case "simtra":
+		return SimTra{M: m}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+func smallDB(rng *rand.Rand, n int) []traj.Trajectory {
+	ts := make([]traj.Trajectory, n)
+	for i := range ts {
+		ts[i] = randTraj(rng, rng.Intn(15)+5)
+		ts[i].ID = i
+	}
+	return ts
+}
+
+func TestTopKOrderingAndSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	ts := smallDB(rng, 20)
+	db := NewDatabase(ts, false)
+	q := randTraj(rng, 5)
+	top := db.TopK(ExactS{M: sim.DTW{}}, q, 5)
+	if len(top) != 5 {
+		t.Fatalf("got %d matches", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Result.Dist > top[i].Result.Dist {
+			t.Fatal("matches not sorted by distance")
+		}
+	}
+	// k larger than the database returns everything
+	all := db.TopK(ExactS{M: sim.DTW{}}, q, 100)
+	if len(all) != 20 {
+		t.Errorf("got %d matches, want 20", len(all))
+	}
+}
+
+func TestTopKMatchesBruteRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ts := smallDB(rng, 15)
+	db := NewDatabase(ts, false)
+	q := randTraj(rng, 4)
+	alg := ExactS{M: sim.DTW{}}
+	top := db.TopK(alg, q, 3)
+	// independent ranking
+	dists := make([]float64, len(ts))
+	for i, tr := range ts {
+		dists[i] = alg.Search(tr, q).Dist
+	}
+	sort.Float64s(dists)
+	for i := 0; i < 3; i++ {
+		if top[i].Result.Dist != dists[i] {
+			t.Errorf("rank %d: %v, want %v", i, top[i].Result.Dist, dists[i])
+		}
+	}
+}
+
+func TestIndexPruningConsistency(t *testing.T) {
+	// spatially clustered database: indexed and unindexed search agree on
+	// the best match whenever the best trajectory's MBR overlaps the query's
+	rng := rand.New(rand.NewSource(32))
+	ts := smallDB(rng, 30)
+	plain := NewDatabase(ts, false)
+	indexed := NewDatabase(ts, true)
+	if !indexed.HasIndex() || plain.HasIndex() {
+		t.Fatal("index flags wrong")
+	}
+	q := ts[7].Sub(1, 3) // query overlapping trajectory 7
+	alg := ExactS{M: sim.DTW{}}
+	bestPlain, ok1 := plain.Best(alg, q)
+	bestIdx, ok2 := indexed.Best(alg, q)
+	if !ok1 || !ok2 {
+		t.Fatal("no matches found")
+	}
+	if bestIdx.Result.Dist > bestPlain.Result.Dist+1e-9 {
+		// pruning may only lose candidates whose MBR misses the query;
+		// the best here overlaps by construction
+		t.Errorf("indexed best %v worse than plain %v", bestIdx.Result.Dist, bestPlain.Result.Dist)
+	}
+}
+
+func TestCandidatesWithoutIndexIsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ts := smallDB(rng, 10)
+	db := NewDatabase(ts, false)
+	c := db.Candidates(randTraj(rng, 3))
+	if len(c) != 10 {
+		t.Errorf("got %d candidates", len(c))
+	}
+}
+
+func TestCandidatesWithIndexPrunes(t *testing.T) {
+	// two far-apart clusters: a query in one cluster must prune the other
+	rng := rand.New(rand.NewSource(34))
+	var ts []traj.Trajectory
+	for i := 0; i < 10; i++ {
+		ts = append(ts, randTraj(rng, 8)) // cluster around origin-ish
+	}
+	for i := 0; i < 10; i++ {
+		ts = append(ts, randTraj(rng, 8).Translate(1e6, 1e6))
+	}
+	db := NewDatabase(ts, true)
+	q := randTraj(rng, 4)
+	c := db.Candidates(q)
+	if len(c) == 0 || len(c) > 15 {
+		t.Errorf("pruning ineffective: %d candidates of 20", len(c))
+	}
+	for _, ci := range c {
+		if ci >= 10 {
+			t.Errorf("far-cluster trajectory %d not pruned", ci)
+		}
+	}
+}
+
+func TestTopKParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	ts := smallDB(rng, 40)
+	db := NewDatabase(ts, false)
+	q := randTraj(rng, 5)
+	alg := PSS{M: sim.DTW{}}
+	seq := db.TopK(alg, q, 10)
+	for _, workers := range []int{0, 1, 2, 8} {
+		par := db.TopKParallel(alg, q, 10, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d matches, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Result.Dist != seq[i].Result.Dist {
+				t.Fatalf("workers=%d rank %d: %v vs %v", workers, i, par[i].Result.Dist, seq[i].Result.Dist)
+			}
+		}
+	}
+}
+
+func TestGridIndexedDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	ts := smallDB(rng, 30)
+	db := NewDatabaseIndexed(ts, GridFileIndex)
+	if !db.HasIndex() {
+		t.Fatal("grid index not built")
+	}
+	q := ts[5].Sub(1, 4)
+	top := db.TopK(ExactS{M: sim.DTW{}}, q, 3)
+	if len(top) == 0 {
+		t.Fatal("no matches through grid index")
+	}
+	// the source trajectory must survive grid pruning and rank first with
+	// distance 0
+	if top[0].Result.Dist > 1e-9 {
+		t.Errorf("best grid-pruned match dist %v, want 0", top[0].Result.Dist)
+	}
+}
+
+func TestBestEmptyDatabase(t *testing.T) {
+	db := NewDatabase(nil, false)
+	if _, ok := db.Best(ExactS{M: sim.DTW{}}, traj.FromXY(0, 0)); ok {
+		t.Error("empty database should return no match")
+	}
+	if db.Len() != 0 {
+		t.Error("Len should be 0")
+	}
+}
+
+func TestAlgorithmFor(t *testing.T) {
+	names := []string{"exacts", "sizes", "pss", "pos", "pos-d", "spring", "ucr", "random-s", "simtra"}
+	for _, n := range names {
+		a, ok := AlgorithmFor(n, sim.DTW{})
+		if !ok || a == nil {
+			t.Errorf("AlgorithmFor(%q) failed", n)
+		}
+	}
+	if _, ok := AlgorithmFor("nope", sim.DTW{}); ok {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestDatabaseTrajAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	ts := smallDB(rng, 5)
+	db := NewDatabase(ts, true)
+	for i := range ts {
+		if !db.Traj(i).Equal(ts[i]) {
+			t.Errorf("Traj(%d) mismatched", i)
+		}
+	}
+}

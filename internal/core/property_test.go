@@ -1,0 +1,144 @@
+package core
+
+// Property-based tests (testing/quick) over randomly generated problem
+// instances: invariants every algorithm must satisfy regardless of input.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// genInstance derives a (data, query) pair from quick-generated seeds.
+func genInstance(seed int64, nRaw, mRaw uint8) (traj.Trajectory, traj.Trajectory) {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(nRaw)%18 + 2
+	m := int(mRaw)%6 + 1
+	return randTraj(rng, n), randTraj(rng, m)
+}
+
+func TestPropertyApproximateNeverBeatsExact(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		data, q := genInstance(seed, nRaw, mRaw)
+		exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+		for _, a := range []Algorithm{
+			SizeS{M: sim.DTW{}, Xi: 2},
+			PSS{M: sim.DTW{}},
+			POS{M: sim.DTW{}},
+			POSD{M: sim.DTW{}, D: 3},
+			RandomS{M: sim.DTW{}, Samples: 5, Seed: seed ^ 0x5f},
+			SimTra{M: sim.DTW{}},
+		} {
+			r := a.Search(data, q)
+			if r.Dist < exact.Dist-1e-9 || !r.Interval.Valid(data.Len()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReportedDistMatchesInterval(t *testing.T) {
+	// for algorithms with exact state maintenance, the reported distance
+	// must equal the measure's distance of the reported interval
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		data, q := genInstance(seed, nRaw, mRaw)
+		for _, a := range []Algorithm{
+			ExactS{M: sim.Frechet{}},
+			SizeS{M: sim.Frechet{}, Xi: 3},
+			PSS{M: sim.Frechet{}},
+			POS{M: sim.Frechet{}},
+		} {
+			r := a.Search(data, q)
+			re := ExactDist(sim.Frechet{}, data, q, r)
+			if math.Abs(re-r.Dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySpringEqualsExactUnderDTW(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		data, q := genInstance(seed, nRaw, mRaw)
+		spring := (Spring{}).Search(data, q)
+		exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+		return math.Abs(spring.Dist-exact.Dist) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTopKPrefixOfLargerK(t *testing.T) {
+	// the top-k list must be a prefix (by distance) of the top-(k+j) list
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		data, q := genInstance(seed, nRaw, mRaw)
+		small := TopKExact(sim.DTW{}, data, q, 3, false)
+		large := TopKExact(sim.DTW{}, data, q, 6, false)
+		if len(small) > len(large) {
+			return false
+		}
+		for i := range small {
+			if math.Abs(small[i].Dist-large[i].Dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUCRWindowLength(t *testing.T) {
+	// UCR answers always have exactly the query's length (clipped by n)
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		data, q := genInstance(seed, nRaw, mRaw)
+		r := (UCR{Band: 0.5}).Search(data, q)
+		want := q.Len()
+		if data.Len() < want {
+			want = data.Len()
+		}
+		return r.Interval.Valid(data.Len()) && r.Interval.Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDatabaseTopKMonotone(t *testing.T) {
+	// growing k never changes the head of the result list
+	f := func(seed int64, countRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(countRaw)%10 + 3
+		ts := make([]traj.Trajectory, count)
+		for i := range ts {
+			ts[i] = randTraj(rng, rng.Intn(10)+2)
+		}
+		db := NewDatabase(ts, false)
+		q := randTraj(rng, 3)
+		top2 := db.TopK(PSS{M: sim.DTW{}}, q, 2)
+		top5 := db.TopK(PSS{M: sim.DTW{}}, q, 5)
+		for i := range top2 {
+			if top2[i].Result.Dist != top5[i].Result.Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

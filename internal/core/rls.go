@@ -1,0 +1,73 @@
+package core
+
+import (
+	"simsub/internal/rl"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// RLS is the reinforcement-learning based search (§5.3): a splitting-based
+// search that drives the split decisions with a DQN-learned policy instead
+// of PSS's hand-crafted heuristic. When the policy was trained with skip
+// actions (K > 0) the same type realizes RLS-Skip (§5.4); the paper's
+// RLS-Skip+ is a K > 0 policy trained with UseSuffix = false.
+//
+// Time complexity matches PSS: O(n1·Φini + n·Φinc), with the O(1) policy
+// network evaluation replacing PSS's comparisons; skipping reduces the
+// constant further by not maintaining state at skipped points.
+type RLS struct {
+	M      sim.Measure
+	Policy *rl.Policy
+}
+
+// Name implements Algorithm: "RLS" for split-only policies, "RLS-Skip" for
+// policies with skip actions, with a "+" suffix when Θsuf is dropped.
+func (a RLS) Name() string {
+	name := "RLS"
+	if a.Policy != nil && a.Policy.K > 0 {
+		name = "RLS-Skip"
+		if !a.Policy.UseSuffix {
+			name += "+"
+		}
+	}
+	return name
+}
+
+// Search implements Algorithm: it walks the splitting MDP taking greedy
+// policy actions and returns the best subtrajectory the walk exposes.
+func (a RLS) Search(t, q traj.Trajectory) Result {
+	env := rl.NewSplitEnv(a.M, t, q, rl.EnvConfig{
+		UseSuffix:     a.Policy.UseSuffix,
+		SimplifyState: a.Policy.SimplifyState,
+	})
+	for !env.Done() {
+		env.Step(a.Policy.Action(env.State()))
+	}
+	iv, d := env.Best()
+	return Result{Interval: iv, Dist: d, Explored: env.Explored()}
+}
+
+// SkippedFraction runs the policy over the pair and reports the fraction of
+// data points never scanned (Table 5's "Skip Pts" column).
+func SkippedFraction(m sim.Measure, p *rl.Policy, t, q traj.Trajectory) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	env := rl.NewSplitEnv(m, t, q, rl.EnvConfig{
+		UseSuffix:     p.UseSuffix,
+		SimplifyState: p.SimplifyState,
+	})
+	scanned := 1 // the first point is always scanned
+	for !env.Done() {
+		before := env.Pos()
+		env.Step(p.Action(env.State()))
+		if !env.Done() && env.Pos() > before {
+			scanned++
+		}
+	}
+	skipped := t.Len() - scanned
+	if skipped < 0 {
+		skipped = 0
+	}
+	return float64(skipped) / float64(t.Len())
+}

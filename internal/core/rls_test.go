@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"simsub/internal/geo"
+	"simsub/internal/nn"
+	"simsub/internal/rl"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// constPolicy builds a policy that always takes the given action.
+func constPolicy(action, k int, useSuffix, simplify bool) *rl.Policy {
+	dim := rl.StateDim(useSuffix)
+	actions := 2 + k
+	net := nn.NewMLP([]int{dim, 2, actions}, []nn.Activation{nn.ReLU, nn.Sigmoid}, rand.New(rand.NewSource(1)))
+	for _, l := range net.Layers {
+		for i := range l.W.W {
+			l.W.W[i] = 0
+		}
+		for i := range l.B.W {
+			l.B.W[i] = -5
+		}
+	}
+	net.Layers[len(net.Layers)-1].B.W[action] = 5
+	return &rl.Policy{Net: net, K: k, UseSuffix: useSuffix, SimplifyState: simplify}
+}
+
+func TestRLSNames(t *testing.T) {
+	cases := []struct {
+		p    *rl.Policy
+		want string
+	}{
+		{constPolicy(0, 0, true, false), "RLS"},
+		{constPolicy(0, 3, true, true), "RLS-Skip"},
+		{constPolicy(0, 3, false, true), "RLS-Skip+"},
+	}
+	for _, c := range cases {
+		if got := (RLS{M: sim.DTW{}, Policy: c.p}).Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRLSNeverSplitEqualsPrefixSuffixScan(t *testing.T) {
+	// a never-split policy scans one growing prefix plus all suffixes; the
+	// result must be the minimum over those candidates
+	rng := rand.New(rand.NewSource(20))
+	m := sim.DTW{}
+	for trial := 0; trial < 10; trial++ {
+		data := randTraj(rng, rng.Intn(12)+2)
+		q := randTraj(rng, rng.Intn(5)+1)
+		got := (RLS{M: m, Policy: constPolicy(0, 0, true, false)}).Search(data, q)
+		want := math.Inf(1)
+		n := data.Len()
+		for i := 0; i < n; i++ {
+			if d := m.Dist(data.Sub(0, i), q); d < want {
+				want = d
+			}
+			if d := m.Dist(data.Sub(i, n-1), q); d < want {
+				want = d
+			}
+		}
+		if math.Abs(got.Dist-want) > 1e-9 {
+			t.Fatalf("trial %d: never-split RLS %v, want %v", trial, got.Dist, want)
+		}
+	}
+}
+
+func TestRLSAlwaysSplitEqualsPointScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := sim.DTW{}
+	data := randTraj(rng, 10)
+	q := randTraj(rng, 4)
+	got := (RLS{M: m, Policy: constPolicy(1, 0, false, false)}).Search(data, q)
+	want := math.Inf(1)
+	for i := 0; i < data.Len(); i++ {
+		if d := m.Dist(data.Sub(i, i), q); d < want {
+			want = d
+		}
+	}
+	if math.Abs(got.Dist-want) > 1e-9 {
+		t.Errorf("always-split RLS %v, want %v", got.Dist, want)
+	}
+}
+
+func TestRLSValidResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	data := make([]traj.Trajectory, 8)
+	queries := make([]traj.Trajectory, 8)
+	for i := range data {
+		data[i] = randTraj(rng, 15)
+		queries[i] = randTraj(rng, 5)
+	}
+	p, _, err := rl.Train(data, queries, sim.DTW{}, rl.Config{Episodes: 25, Seed: 5, UseSuffix: true})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	alg := RLS{M: sim.DTW{}, Policy: p}
+	exact := ExactS{M: sim.DTW{}}
+	for trial := 0; trial < 10; trial++ {
+		d := randTraj(rng, rng.Intn(15)+2)
+		q := randTraj(rng, rng.Intn(5)+1)
+		got := alg.Search(d, q)
+		if !got.Interval.Valid(d.Len()) {
+			t.Fatalf("invalid interval %v for n=%d", got.Interval, d.Len())
+		}
+		if ex := exact.Search(d, q); got.Dist < ex.Dist-1e-9 {
+			t.Fatalf("RLS dist %v beats exact %v", got.Dist, ex.Dist)
+		}
+	}
+}
+
+func TestRLSSkipSearchAndSkippedFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	data := randTraj(rng, 40)
+	q := randTraj(rng, 6)
+	// constant skip-1 policy (action 2 with k=1): every step skips one point
+	p := constPolicy(2, 1, false, true)
+	got := (RLS{M: sim.DTW{}, Policy: p}).Search(data, q)
+	if !got.Interval.Valid(data.Len()) {
+		t.Fatalf("invalid interval %v", got.Interval)
+	}
+	frac := SkippedFraction(sim.DTW{}, p, data, q)
+	// skipping every other point leaves about half unscanned
+	if frac < 0.3 || frac > 0.6 {
+		t.Errorf("skipped fraction = %v, want about 0.5", frac)
+	}
+	// a never-skip policy skips nothing
+	if f0 := SkippedFraction(sim.DTW{}, constPolicy(0, 1, false, true), data, q); f0 != 0 {
+		t.Errorf("never-skip policy skipped %v", f0)
+	}
+}
+
+func TestRLSSkipFasterThanRLSOnExplored(t *testing.T) {
+	// with state simplification, a skipping policy performs fewer
+	// similarity evaluations than a non-skipping one
+	rng := rand.New(rand.NewSource(24))
+	data := randTraj(rng, 60)
+	q := randTraj(rng, 8)
+	noSkip := (RLS{M: sim.DTW{}, Policy: constPolicy(0, 3, false, true)}).Search(data, q)
+	skip := (RLS{M: sim.DTW{}, Policy: constPolicy(4, 3, false, true)}).Search(data, q) // skip 3 each step
+	if skip.Explored >= noSkip.Explored {
+		t.Errorf("skipping explored %d, non-skipping %d", skip.Explored, noSkip.Explored)
+	}
+}
+
+func TestRLSWalkthroughShape(t *testing.T) {
+	// Table 4 walk-through shape: a skip policy on a 5-point trajectory with
+	// k=1 visits p1, may skip p3, and finishes at p5; the returned interval
+	// is valid and its tracked distance matches a real subtrajectory's
+	// distance under full-state maintenance.
+	data := traj.FromXY(0, 0, 1, 0, 2, 0, 3, 0, 4, 0)
+	q := traj.FromXY(1, 0, 2, 0, 3, 0)
+	p := constPolicy(2, 1, true, false) // always skip 1, full state
+	got := (RLS{M: sim.DTW{}, Policy: p}).Search(data, q)
+	if !got.Interval.Valid(5) {
+		t.Fatalf("invalid interval %v", got.Interval)
+	}
+	re := ExactDist(sim.DTW{}, data, q, got)
+	if math.Abs(re-got.Dist) > 1e-9 {
+		t.Errorf("full-state RLS-Skip tracked dist %v but interval scores %v", got.Dist, re)
+	}
+}
+
+func TestRLSTrainedBeatsNeverSplitOnStructuredData(t *testing.T) {
+	// construct pairs where the query matches a strict interior segment, so
+	// splitting is necessary for a good answer; a trained policy should do
+	// at least as well as the never-split baseline on average
+	rng := rand.New(rand.NewSource(25))
+	make2 := func() (traj.Trajectory, traj.Trajectory) {
+		q := randTraj(rng, 5)
+		pre := randTraj(rng, 5).Translate(30, 30)
+		post := randTraj(rng, 5).Translate(-30, -30)
+		pts := append(append(append([]geo.Point{}, pre.Points...), q.Points...), post.Points...)
+		return traj.New(pts...), q
+	}
+	var data, queries []traj.Trajectory
+	for i := 0; i < 20; i++ {
+		d, q := make2()
+		data = append(data, d)
+		queries = append(queries, q)
+	}
+	p, _, err := rl.Train(data, queries, sim.DTW{}, rl.Config{Episodes: 120, Seed: 6, UseSuffix: true})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	trained := RLS{M: sim.DTW{}, Policy: p}
+	never := RLS{M: sim.DTW{}, Policy: constPolicy(0, 0, true, false)}
+	var sumTrained, sumNever float64
+	for i := 0; i < 20; i++ {
+		d, q := make2()
+		sumTrained += trained.Search(d, q).Dist
+		sumNever += never.Search(d, q).Dist
+	}
+	if sumTrained > sumNever*1.05 {
+		t.Errorf("trained policy (%v) notably worse than never-split baseline (%v)", sumTrained, sumNever)
+	}
+}

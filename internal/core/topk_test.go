@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// bruteTopK enumerates all subtrajectory distances and returns the k
+// smallest (with overlaps allowed).
+func bruteTopK(m sim.Measure, t, q traj.Trajectory, k int) []float64 {
+	var all []float64
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			all = append(all, m.Dist(t.Sub(i, j), q))
+		}
+	}
+	sort.Float64s(all)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestTopKExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 10; trial++ {
+		data := randTraj(rng, rng.Intn(10)+3)
+		q := randTraj(rng, rng.Intn(4)+1)
+		for _, k := range []int{1, 3, 7} {
+			got := TopKExact(sim.DTW{}, data, q, k, false)
+			want := bruteTopK(sim.DTW{}, data, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+					t.Fatalf("k=%d rank %d: %v, want %v", k, i, got[i].Dist, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopKExactSortedAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	data := randTraj(rng, 12)
+	q := randTraj(rng, 4)
+	got := TopKExact(sim.DTW{}, data, q, 5, false)
+	for i := range got {
+		if !got[i].Interval.Valid(data.Len()) {
+			t.Fatalf("invalid interval %v", got[i].Interval)
+		}
+		if i > 0 && got[i-1].Dist > got[i].Dist {
+			t.Fatal("results not sorted")
+		}
+		re := sim.DTW{}.Dist(data.Sub(got[i].Interval.I, got[i].Interval.J), q)
+		if math.Abs(re-got[i].Dist) > 1e-9 {
+			t.Fatalf("interval %v scores %v, reported %v", got[i].Interval, re, got[i].Dist)
+		}
+	}
+}
+
+func TestTopKExactDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := randTraj(rng, 12)
+	q := randTraj(rng, 4)
+	got := TopKExact(sim.DTW{}, data, q, 4, true)
+	for i := range got {
+		for j := i + 1; j < len(got); j++ {
+			if overlaps(got[i].Interval, got[j].Interval) {
+				t.Fatalf("distinct results overlap: %v and %v", got[i].Interval, got[j].Interval)
+			}
+		}
+	}
+	// rank 1 must still be the exact optimum
+	exact := (ExactS{M: sim.DTW{}}).Search(data, q)
+	if math.Abs(got[0].Dist-exact.Dist) > 1e-9 {
+		t.Errorf("distinct top-1 %v, exact %v", got[0].Dist, exact.Dist)
+	}
+}
+
+func TestTopKSplitConsistentWithPSS(t *testing.T) {
+	// the split-based top-k's rank-1 answer is at least as good as PSS's
+	// (it retains every candidate PSS scores, plus the non-splitting ones)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		data := randTraj(rng, rng.Intn(12)+2)
+		q := randTraj(rng, rng.Intn(4)+1)
+		topk := TopKSplit(sim.DTW{}, data, q, 3, false)
+		if len(topk) == 0 {
+			t.Fatal("no results")
+		}
+		pss := (PSS{M: sim.DTW{}}).Search(data, q)
+		if topk[0].Dist > pss.Dist+1e-9 {
+			t.Fatalf("trial %d: TopKSplit best %v worse than PSS %v", trial, topk[0].Dist, pss.Dist)
+		}
+		for i := 1; i < len(topk); i++ {
+			if topk[i-1].Dist > topk[i].Dist {
+				t.Fatal("not sorted")
+			}
+		}
+	}
+}
+
+func TestTopKSplitEmpty(t *testing.T) {
+	if got := TopKSplit(sim.DTW{}, traj.New(), traj.FromXY(0, 0), 3, false); got != nil {
+		t.Errorf("empty trajectory should yield nil, got %v", got)
+	}
+}
+
+func TestTopKFewerCandidatesThanK(t *testing.T) {
+	data := traj.FromXY(0, 0, 1, 0)
+	q := traj.FromXY(0, 0)
+	got := TopKExact(sim.DTW{}, data, q, 10, false)
+	if len(got) != 3 { // 2 singles + 1 pair
+		t.Errorf("got %d results, want all 3", len(got))
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b traj.Interval
+		want bool
+	}{
+		{traj.Interval{I: 0, J: 2}, traj.Interval{I: 2, J: 4}, true},
+		{traj.Interval{I: 0, J: 2}, traj.Interval{I: 3, J: 4}, false},
+		{traj.Interval{I: 1, J: 5}, traj.Interval{I: 2, J: 3}, true},
+	}
+	for _, c := range cases {
+		if got := overlaps(c.a, c.b); got != c.want {
+			t.Errorf("overlaps(%v,%v) = %v", c.a, c.b, got)
+		}
+		if got := overlaps(c.b, c.a); got != c.want {
+			t.Errorf("overlaps not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}

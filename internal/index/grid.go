@@ -1,0 +1,107 @@
+package index
+
+import (
+	"sort"
+
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+// GridIndex is the inverted-file style index the paper mentions alongside
+// the R-tree (§3.1): space is cut into a uniform grid, each cell keeps the
+// posting list of trajectories passing through it, and a query's candidate
+// set is every trajectory sharing at least one cell with the query — a
+// tighter filter than MBR intersection for long, thin trajectories.
+type GridIndex struct {
+	bounds geo.Rect
+	cells  int // cells per axis
+	post   map[int][]int
+}
+
+// NewGridIndex builds an inverted grid index over the trajectories with
+// cells² uniform cells covering their joint bounding rectangle.
+func NewGridIndex(ts []traj.Trajectory, cells int) *GridIndex {
+	if cells < 1 {
+		cells = 1
+	}
+	bounds := geo.EmptyRect()
+	for _, t := range ts {
+		bounds = bounds.Union(t.MBR())
+	}
+	g := &GridIndex{bounds: bounds, cells: cells, post: map[int][]int{}}
+	for ref, t := range ts {
+		g.addTrajectory(ref, t)
+	}
+	return g
+}
+
+// addTrajectory inserts one trajectory's cells, deduplicating consecutive
+// repeats (points cluster in cells).
+func (g *GridIndex) addTrajectory(ref int, t traj.Trajectory) {
+	last := -1
+	for _, p := range t.Points {
+		c := g.cellOf(p)
+		if c == last {
+			continue
+		}
+		last = c
+		lst := g.post[c]
+		if len(lst) > 0 && lst[len(lst)-1] == ref {
+			continue // revisited the cell later in the same trajectory
+		}
+		g.post[c] = append(lst, ref)
+	}
+}
+
+// cellOf maps a point to its flat cell id (points outside the build bounds
+// clamp to the border cells).
+func (g *GridIndex) cellOf(p geo.Point) int {
+	w := g.bounds.MaxX - g.bounds.MinX
+	h := g.bounds.MaxY - g.bounds.MinY
+	cx, cy := 0, 0
+	if w > 0 {
+		cx = int(float64(g.cells) * (p.X - g.bounds.MinX) / w)
+	}
+	if h > 0 {
+		cy = int(float64(g.cells) * (p.Y - g.bounds.MinY) / h)
+	}
+	cx = clampCell(cx, g.cells)
+	cy = clampCell(cy, g.cells)
+	return cy*g.cells + cx
+}
+
+func clampCell(c, cells int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= cells {
+		return cells - 1
+	}
+	return c
+}
+
+// Candidates returns the refs of trajectories sharing at least one grid
+// cell with q, in ascending order without duplicates.
+func (g *GridIndex) Candidates(q traj.Trajectory) []int {
+	seen := map[int]bool{}
+	var out []int
+	last := -1
+	for _, p := range q.Points {
+		c := g.cellOf(p)
+		if c == last {
+			continue
+		}
+		last = c
+		for _, ref := range g.post[c] {
+			if !seen[ref] {
+				seen[ref] = true
+				out = append(out, ref)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Cells returns the number of non-empty cells (for diagnostics and tests).
+func (g *GridIndex) Cells() int { return len(g.post) }

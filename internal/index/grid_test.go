@@ -1,0 +1,122 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+func gridTrajs(seed int64, n, length int, spread float64) []traj.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]traj.Trajectory, n)
+	for i := range out {
+		pts := make([]geo.Point, length)
+		x, y := rng.Float64()*spread, rng.Float64()*spread
+		for j := range pts {
+			x += rng.NormFloat64() * 0.01
+			y += rng.NormFloat64() * 0.01
+			pts[j] = geo.Point{X: x, Y: y, T: float64(j)}
+		}
+		out[i] = traj.Trajectory{ID: i, Points: pts}
+	}
+	return out
+}
+
+func TestGridCandidatesIncludeSharedCellTrajectories(t *testing.T) {
+	ts := gridTrajs(1, 50, 20, 1)
+	g := NewGridIndex(ts, 16)
+	// a subsegment of trajectory 7 must find trajectory 7
+	q := ts[7].Sub(3, 10)
+	cands := g.Candidates(q)
+	found := false
+	for _, c := range cands {
+		if c == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("query over trajectory 7's own points did not return it")
+	}
+}
+
+func TestGridCandidatesSorted(t *testing.T) {
+	ts := gridTrajs(2, 80, 15, 0.5)
+	g := NewGridIndex(ts, 8)
+	cands := g.Candidates(ts[0])
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1] >= cands[i] {
+			t.Fatal("candidates not strictly sorted / deduplicated")
+		}
+	}
+}
+
+func TestGridPrunesDistantClusters(t *testing.T) {
+	near := gridTrajs(3, 20, 15, 0.2)
+	far := gridTrajs(4, 20, 15, 0.2)
+	for i := range far {
+		far[i] = far[i].Translate(100, 100)
+		far[i].ID = 20 + i
+	}
+	all := append(append([]traj.Trajectory{}, near...), far...)
+	g := NewGridIndex(all, 32)
+	cands := g.Candidates(near[0])
+	for _, c := range cands {
+		if c >= 20 {
+			t.Fatalf("far trajectory %d not pruned", c)
+		}
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates at all")
+	}
+}
+
+func TestGridCandidatesSoundness(t *testing.T) {
+	// every trajectory sharing a cell with the query must be returned:
+	// verify against a brute-force cell comparison
+	ts := gridTrajs(5, 40, 12, 0.3)
+	g := NewGridIndex(ts, 8)
+	q := ts[13]
+	got := map[int]bool{}
+	for _, c := range g.Candidates(q) {
+		got[c] = true
+	}
+	qCells := map[int]bool{}
+	for _, p := range q.Points {
+		qCells[g.cellOf(p)] = true
+	}
+	for ref, tr := range ts {
+		shares := false
+		for _, p := range tr.Points {
+			if qCells[g.cellOf(p)] {
+				shares = true
+				break
+			}
+		}
+		if shares && !got[ref] {
+			t.Fatalf("trajectory %d shares a cell but was not returned", ref)
+		}
+		if !shares && got[ref] {
+			t.Fatalf("trajectory %d shares no cell but was returned", ref)
+		}
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	// all points identical: a single cell, everything is a candidate
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	ts := []traj.Trajectory{{ID: 0, Points: pts}, {ID: 1, Points: pts}}
+	g := NewGridIndex(ts, 16)
+	if cands := g.Candidates(ts[0]); len(cands) != 2 {
+		t.Errorf("degenerate grid candidates = %v", cands)
+	}
+	if g.Cells() != 1 {
+		t.Errorf("cells = %d, want 1", g.Cells())
+	}
+	// empty build
+	empty := NewGridIndex(nil, 4)
+	if cands := empty.Candidates(ts[0]); len(cands) != 0 {
+		t.Errorf("empty grid returned %v", cands)
+	}
+}

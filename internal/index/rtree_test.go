@@ -1,0 +1,163 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"simsub/internal/geo"
+)
+
+func randomEntries(seed int64, n int) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([]Entry, n)
+	for i := range es {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		w, h := rng.Float64()*5, rng.Float64()*5
+		es[i] = Entry{Rect: geo.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}, Ref: i}
+	}
+	return es
+}
+
+// bruteSearch is the oracle: linear scan.
+func bruteSearch(es []Entry, r geo.Rect) []int {
+	var out []int
+	for _, e := range es {
+		if e.Rect.Intersects(r) {
+			out = append(out, e.Ref)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedSearch(t *RTree, r geo.Rect) []int {
+	got := t.Search(r, nil)
+	sort.Ints(got)
+	return got
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBulkLoadSearchMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 500} {
+		es := randomEntries(int64(n)+1, n)
+		tree := BulkLoad(es, 16)
+		if tree.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tree.Len())
+		}
+		rng := rand.New(rand.NewSource(99))
+		for q := 0; q < 30; q++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			r := geo.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*30, MaxY: y + rng.Float64()*30}
+			got := sortedSearch(tree, r)
+			want := bruteSearch(es, r)
+			if !equalInts(got, want) {
+				t.Fatalf("n=%d query %v: got %v, want %v", n, r, got, want)
+			}
+		}
+	}
+}
+
+func TestInsertSearchMatchesBruteForce(t *testing.T) {
+	es := randomEntries(7, 300)
+	tree := New(8)
+	for _, e := range es {
+		tree.Insert(e)
+	}
+	if tree.Len() != len(es) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(es))
+	}
+	rng := rand.New(rand.NewSource(100))
+	for q := 0; q < 30; q++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		r := geo.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*40, MaxY: y + rng.Float64()*40}
+		got := sortedSearch(tree, r)
+		want := bruteSearch(es, r)
+		if !equalInts(got, want) {
+			t.Fatalf("query %v: got %d refs, want %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestMixedBulkAndInsert(t *testing.T) {
+	es := randomEntries(8, 200)
+	tree := BulkLoad(es[:100], 16)
+	for _, e := range es[100:] {
+		tree.Insert(e)
+	}
+	got := sortedSearch(tree, geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100})
+	want := bruteSearch(es, geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100})
+	if !equalInts(got, want) {
+		t.Fatalf("full-cover query: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestSearchEmptyTree(t *testing.T) {
+	tree := New(16)
+	if got := tree.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, nil); len(got) != 0 {
+		t.Errorf("empty tree returned %v", got)
+	}
+	if !tree.Bounds().IsEmpty() {
+		t.Error("empty tree should have empty bounds")
+	}
+}
+
+func TestSearchDisjointRect(t *testing.T) {
+	es := randomEntries(9, 50)
+	tree := BulkLoad(es, 8)
+	if got := tree.Search(geo.Rect{MinX: 500, MinY: 500, MaxX: 600, MaxY: 600}, nil); len(got) != 0 {
+		t.Errorf("disjoint query returned %v", got)
+	}
+}
+
+func TestTreeDepthGrowsLogarithmically(t *testing.T) {
+	tree := New(8)
+	for i := 0; i < 1000; i++ {
+		x := float64(i % 37)
+		y := float64(i % 53)
+		tree.Insert(Entry{Rect: geo.Rect{MinX: x, MinY: y, MaxX: x + 1, MaxY: y + 1}, Ref: i})
+	}
+	if d := tree.Depth(); d < 2 || d > 8 {
+		t.Errorf("depth = %d after 1000 inserts with fan-out 8", d)
+	}
+	bulk := BulkLoad(randomEntries(10, 1000), 16)
+	if d := bulk.Depth(); d < 2 || d > 4 {
+		t.Errorf("bulk depth = %d, want tight packing", d)
+	}
+}
+
+func TestBoundsCoverEverything(t *testing.T) {
+	es := randomEntries(11, 120)
+	tree := New(8)
+	for _, e := range es {
+		tree.Insert(e)
+	}
+	b := tree.Bounds()
+	for _, e := range es {
+		if !b.ContainsRect(e.Rect) {
+			t.Fatalf("bounds %v do not contain %v", b, e.Rect)
+		}
+	}
+}
+
+func TestSearchReuseBuffer(t *testing.T) {
+	es := randomEntries(12, 100)
+	tree := BulkLoad(es, 16)
+	buf := make([]int, 0, 128)
+	r := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	out := tree.Search(r, buf[:0])
+	if len(out) != 100 {
+		t.Errorf("got %d results", len(out))
+	}
+}

@@ -1,0 +1,168 @@
+// Package metrics implements the paper's effectiveness metrics (§6.1):
+//
+//	AR — approximation ratio: dissimilarity of the returned subtrajectory
+//	     over that of the exact optimum (≥ 1, smaller is better);
+//	MR — mean rank: the returned subtrajectory's rank among all n(n+1)/2
+//	     subtrajectories ordered by dissimilarity;
+//	RR — relative rank: MR normalized by the number of subtrajectories.
+//
+// Evaluating MR/RR requires the full exact ranking, so evaluation costs one
+// ExactS enumeration per pair; the incremental strategy keeps that at
+// O(n·(Φini + n·Φinc)).
+package metrics
+
+import (
+	"math"
+	"time"
+
+	"simsub/internal/core"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// Effectiveness holds the three per-query quality metrics.
+type Effectiveness struct {
+	AR float64
+	MR float64
+	RR float64
+}
+
+// arEps regularizes AR when the exact optimum has distance 0.
+const arEps = 1e-12
+
+// Evaluate scores an approximate result against the exact enumeration for
+// one (data, query) pair. The returned subtrajectory is re-scored with the
+// measure, so algorithms whose tracked distance is approximate (RLS-Skip's
+// simplified state) are judged on what they actually return.
+func Evaluate(m sim.Measure, t, q traj.Trajectory, r core.Result) Effectiveness {
+	dApprox := core.ExactDist(m, t, q, r)
+	var dExact float64 = math.Inf(1)
+	rank := 1
+	sim.AllSubDists(m, t, q, func(i, j int, d float64) {
+		if d < dExact {
+			dExact = d
+		}
+		if d < dApprox {
+			rank++
+		}
+	})
+	total := t.NumSubtrajectories()
+	return Effectiveness{
+		AR: (dApprox + arEps) / (dExact + arEps),
+		MR: float64(rank),
+		RR: float64(rank) / float64(total),
+	}
+}
+
+// EvaluateMany scores several results for the same (data, query) pair with
+// a single exact enumeration, which dominates evaluation cost. Entry i of
+// the returned slice corresponds to rs[i].
+func EvaluateMany(m sim.Measure, t, q traj.Trajectory, rs []core.Result) []Effectiveness {
+	dApprox := make([]float64, len(rs))
+	ranks := make([]int, len(rs))
+	for i, r := range rs {
+		dApprox[i] = core.ExactDist(m, t, q, r)
+		ranks[i] = 1
+	}
+	dExact := math.Inf(1)
+	sim.AllSubDists(m, t, q, func(_, _ int, d float64) {
+		if d < dExact {
+			dExact = d
+		}
+		for i := range dApprox {
+			if d < dApprox[i] {
+				ranks[i]++
+			}
+		}
+	})
+	total := float64(t.NumSubtrajectories())
+	out := make([]Effectiveness, len(rs))
+	for i := range rs {
+		out[i] = Effectiveness{
+			AR: (dApprox[i] + arEps) / (dExact + arEps),
+			MR: float64(ranks[i]),
+			RR: float64(ranks[i]) / total,
+		}
+	}
+	return out
+}
+
+// Agg accumulates per-pair effectiveness results, tracking means and
+// standard deviations (Figure 9 of the paper reports both).
+type Agg struct {
+	sumAR, sumMR, sumRR float64
+	sqAR, sqMR, sqRR    float64
+	// Count is the number of accumulated evaluations.
+	Count int
+}
+
+// Add accumulates one evaluation. Infinite ARs (degenerate exact optima)
+// are clamped to keep means meaningful; they are rare and noted by callers.
+func (a *Agg) Add(e Effectiveness) {
+	ar := e.AR
+	if math.IsInf(ar, 1) || ar > 1e6 {
+		ar = 1e6
+	}
+	a.sumAR += ar
+	a.sumMR += e.MR
+	a.sumRR += e.RR
+	a.sqAR += ar * ar
+	a.sqMR += e.MR * e.MR
+	a.sqRR += e.RR * e.RR
+	a.Count++
+}
+
+// Mean returns the component-wise means; zero values when empty.
+func (a *Agg) Mean() Effectiveness {
+	if a.Count == 0 {
+		return Effectiveness{}
+	}
+	n := float64(a.Count)
+	return Effectiveness{AR: a.sumAR / n, MR: a.sumMR / n, RR: a.sumRR / n}
+}
+
+// Std returns the component-wise population standard deviations; zero
+// values when fewer than two samples were added.
+func (a *Agg) Std() Effectiveness {
+	if a.Count < 2 {
+		return Effectiveness{}
+	}
+	n := float64(a.Count)
+	std := func(sum, sq float64) float64 {
+		v := sq/n - (sum/n)*(sum/n)
+		if v < 0 { // numerical noise
+			v = 0
+		}
+		return math.Sqrt(v)
+	}
+	return Effectiveness{
+		AR: std(a.sumAR, a.sqAR),
+		MR: std(a.sumMR, a.sqMR),
+		RR: std(a.sumRR, a.sqRR),
+	}
+}
+
+// Timer measures accumulated wall-clock time across repeated sections.
+type Timer struct {
+	total time.Duration
+	n     int
+}
+
+// Time runs fn and adds its duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.total += time.Since(start)
+	t.n++
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return t.total }
+
+// MeanMs returns the mean duration per timed section in milliseconds.
+func (t *Timer) MeanMs() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return float64(t.total.Microseconds()) / float64(t.n) / 1000
+}

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"simsub/internal/core"
+	"simsub/internal/geo"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+func randTraj(rng *rand.Rand, n int) traj.Trajectory {
+	pts := make([]geo.Point, n)
+	x, y := rng.Float64()*10, rng.Float64()*10
+	for i := range pts {
+		x += rng.NormFloat64()
+		y += rng.NormFloat64()
+		pts[i] = geo.Point{X: x, Y: y, T: float64(i)}
+	}
+	return traj.New(pts...)
+}
+
+func TestExactResultScoresPerfectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		data := randTraj(rng, rng.Intn(12)+2)
+		q := randTraj(rng, rng.Intn(5)+1)
+		r := (core.ExactS{M: sim.DTW{}}).Search(data, q)
+		e := Evaluate(sim.DTW{}, data, q, r)
+		if math.Abs(e.AR-1) > 1e-9 {
+			t.Errorf("exact AR = %v, want 1", e.AR)
+		}
+		if e.MR != 1 {
+			t.Errorf("exact MR = %v, want 1", e.MR)
+		}
+		if want := 1 / float64(data.NumSubtrajectories()); math.Abs(e.RR-want) > 1e-12 {
+			t.Errorf("exact RR = %v, want %v", e.RR, want)
+		}
+	}
+}
+
+func TestEvaluateKnownRanking(t *testing.T) {
+	// data on a line, query at origin: subtrajectory {p0} at distance 0 is
+	// rank 1; returning {p1} must rank below every subtrajectory that is
+	// strictly closer
+	data := traj.FromXY(0, 0, 1, 0, 2, 0)
+	q := traj.FromXY(0, 0)
+	r := core.Result{Interval: traj.Interval{I: 1, J: 1}} // dist 1
+	e := Evaluate(sim.DTW{}, data, q, r)
+	// dists: [0,0]=0, [0,1]=1, [0,2]=3, [1,1]=1, [1,2]=3, [2,2]=2
+	// strictly smaller than 1: only 0 → rank 2
+	if e.MR != 2 {
+		t.Errorf("MR = %v, want 2", e.MR)
+	}
+	if want := 2.0 / 6.0; math.Abs(e.RR-want) > 1e-12 {
+		t.Errorf("RR = %v, want %v", e.RR, want)
+	}
+	if !math.IsInf(e.AR, 1) && e.AR < 1e6 {
+		t.Errorf("AR with zero exact distance should be huge, got %v", e.AR)
+	}
+}
+
+func TestEvaluateApproxNeverBelowOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		data := randTraj(rng, rng.Intn(12)+2)
+		q := randTraj(rng, rng.Intn(5)+1)
+		for _, a := range []core.Algorithm{
+			core.PSS{M: sim.DTW{}},
+			core.POS{M: sim.DTW{}},
+			core.SizeS{M: sim.DTW{}, Xi: 2},
+		} {
+			e := Evaluate(sim.DTW{}, data, q, a.Search(data, q))
+			if e.AR < 1-1e-9 {
+				t.Errorf("%s: AR = %v < 1", a.Name(), e.AR)
+			}
+			if e.MR < 1 || e.RR <= 0 || e.RR > 1 {
+				t.Errorf("%s: MR=%v RR=%v out of range", a.Name(), e.MR, e.RR)
+			}
+		}
+	}
+}
+
+func TestEvaluateUsesActualInterval(t *testing.T) {
+	// a Result whose claimed Dist disagrees with its interval must be
+	// evaluated on the interval
+	data := traj.FromXY(0, 0, 5, 0)
+	q := traj.FromXY(0, 0)
+	r := core.Result{Interval: traj.Interval{I: 1, J: 1}, Dist: 0 /* lie */}
+	e := Evaluate(sim.DTW{}, data, q, r)
+	if e.MR != 2 {
+		t.Errorf("MR = %v: evaluation trusted the lied distance", e.MR)
+	}
+}
+
+func TestEvaluateManyAgreesWithEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		data := randTraj(rng, rng.Intn(10)+3)
+		q := randTraj(rng, rng.Intn(4)+1)
+		algs := []core.Algorithm{
+			core.ExactS{M: sim.DTW{}},
+			core.PSS{M: sim.DTW{}},
+			core.SizeS{M: sim.DTW{}, Xi: 1},
+		}
+		rs := make([]core.Result, len(algs))
+		for i, a := range algs {
+			rs[i] = a.Search(data, q)
+		}
+		many := EvaluateMany(sim.DTW{}, data, q, rs)
+		for i, r := range rs {
+			one := Evaluate(sim.DTW{}, data, q, r)
+			if math.Abs(many[i].AR-one.AR) > 1e-9 && !(math.IsInf(many[i].AR, 1) && math.IsInf(one.AR, 1)) ||
+				many[i].MR != one.MR || math.Abs(many[i].RR-one.RR) > 1e-12 {
+				t.Fatalf("trial %d result %d: EvaluateMany %+v vs Evaluate %+v", trial, i, many[i], one)
+			}
+		}
+	}
+}
+
+func TestAgg(t *testing.T) {
+	var a Agg
+	if m := a.Mean(); m.AR != 0 || m.MR != 0 || m.RR != 0 {
+		t.Errorf("empty mean = %+v", m)
+	}
+	a.Add(Effectiveness{AR: 1, MR: 2, RR: 0.1})
+	a.Add(Effectiveness{AR: 3, MR: 4, RR: 0.3})
+	m := a.Mean()
+	if m.AR != 2 || m.MR != 3 || math.Abs(m.RR-0.2) > 1e-12 {
+		t.Errorf("mean = %+v", m)
+	}
+	if a.Count != 2 {
+		t.Errorf("count = %d", a.Count)
+	}
+	// infinite AR clamps rather than poisoning the mean
+	a.Add(Effectiveness{AR: math.Inf(1), MR: 1, RR: 0.1})
+	if m := a.Mean(); math.IsInf(m.AR, 1) || math.IsNaN(m.AR) {
+		t.Errorf("clamping failed: %v", m.AR)
+	}
+}
+
+func TestAggStd(t *testing.T) {
+	var a Agg
+	if s := a.Std(); s.AR != 0 || s.MR != 0 {
+		t.Error("empty std should be zero")
+	}
+	a.Add(Effectiveness{AR: 1, MR: 2, RR: 0.2})
+	if s := a.Std(); s.AR != 0 {
+		t.Error("single-sample std should be zero")
+	}
+	a.Add(Effectiveness{AR: 3, MR: 6, RR: 0.6})
+	s := a.Std()
+	// population std of {1,3} is 1, of {2,6} is 2, of {0.2,0.6} is 0.2
+	if math.Abs(s.AR-1) > 1e-12 || math.Abs(s.MR-2) > 1e-12 || math.Abs(s.RR-0.2) > 1e-12 {
+		t.Errorf("std = %+v", s)
+	}
+	// constant samples have zero std
+	var b Agg
+	for i := 0; i < 5; i++ {
+		b.Add(Effectiveness{AR: 1.5, MR: 3, RR: 0.1})
+	}
+	if s := b.Std(); s.AR > 1e-9 || s.MR > 1e-9 || s.RR > 1e-9 {
+		t.Errorf("constant std = %+v", s)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.Time(func() {})
+	tm.Time(func() {})
+	if tm.Total() < 0 {
+		t.Error("negative total")
+	}
+	if tm.MeanMs() < 0 {
+		t.Error("negative mean")
+	}
+	var empty Timer
+	if empty.MeanMs() != 0 {
+		t.Error("empty timer mean should be 0")
+	}
+}

@@ -1,0 +1,88 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam stochastic optimizer (Kingma & Ba, 2015) with
+// bias-corrected first and second moment estimates. The paper trains both
+// the DQN and t2vec models with Adam at learning rate 0.001 (§6.1).
+type Adam struct {
+	// LR is the learning rate (step size).
+	LR float64
+	// Beta1, Beta2 are the exponential decay rates for the moment estimates.
+	Beta1, Beta2 float64
+	// Eps avoids division by zero.
+	Eps float64
+	// Clip, when positive, clips each raw gradient element to [-Clip, Clip]
+	// before the update — a common stabilizer for DQN training.
+	Clip float64
+
+	params Params
+	m, v   [][]float64
+	t      int
+}
+
+// NewAdam creates an optimizer over the given parameters with the standard
+// defaults (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params Params, lr float64) *Adam {
+	a := &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		params: params,
+	}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, p.Size())
+		a.v[i] = make([]float64, p.Size())
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients, then clears
+// them.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W {
+			g := p.G[j]
+			if a.Clip > 0 {
+				if g > a.Clip {
+					g = a.Clip
+				} else if g < -a.Clip {
+					g = -a.Clip
+				}
+			}
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mhat := m[j] / bc1
+			vhat := v[j] / bc2
+			p.W[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+	a.params.ZeroGrad()
+}
+
+// SGD is a plain stochastic-gradient-descent optimizer, provided as a
+// baseline and for tests that need predictable single steps.
+type SGD struct {
+	// LR is the learning rate.
+	LR     float64
+	params Params
+}
+
+// NewSGD creates a plain SGD optimizer over the parameters.
+func NewSGD(params Params, lr float64) *SGD {
+	return &SGD{LR: lr, params: params}
+}
+
+// Step applies one gradient-descent update and clears the gradients.
+func (s *SGD) Step() {
+	for _, p := range s.params {
+		for j := range p.W {
+			p.W[j] -= s.LR * p.G[j]
+		}
+	}
+	s.params.ZeroGrad()
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GRU is a gated recurrent unit cell (Cho et al. 2014), the recurrent
+// building block of the t2vec encoder/decoder (§3.2 of the paper cites the
+// RNN encoder-decoder framework):
+//
+//	z = σ(Wz·x + Uz·h + bz)          update gate
+//	r = σ(Wr·x + Ur·h + br)          reset gate
+//	ĥ = tanh(Wh·x + Uh·(r⊙h) + bh)   candidate state
+//	h' = (1-z)⊙h + z⊙ĥ
+type GRU struct {
+	InDim, HiddenDim int
+	Wz, Uz, Bz       *Tensor
+	Wr, Ur, Br       *Tensor
+	Wh, Uh, Bh       *Tensor
+}
+
+// NewGRU builds a GRU cell with Xavier-initialized weights.
+func NewGRU(in, hidden int, rng *rand.Rand) *GRU {
+	g := &GRU{
+		InDim: in, HiddenDim: hidden,
+		Wz: NewTensor(hidden, in), Uz: NewTensor(hidden, hidden), Bz: NewTensor(1, hidden),
+		Wr: NewTensor(hidden, in), Ur: NewTensor(hidden, hidden), Br: NewTensor(1, hidden),
+		Wh: NewTensor(hidden, in), Uh: NewTensor(hidden, hidden), Bh: NewTensor(1, hidden),
+	}
+	g.Wz.InitXavier(rng)
+	g.Uz.InitXavier(rng)
+	g.Wr.InitXavier(rng)
+	g.Ur.InitXavier(rng)
+	g.Wh.InitXavier(rng)
+	g.Uh.InitXavier(rng)
+	return g
+}
+
+// Params returns all parameter tensors in a stable order.
+func (g *GRU) Params() Params {
+	return Params{g.Wz, g.Uz, g.Bz, g.Wr, g.Ur, g.Br, g.Wh, g.Uh, g.Bh}
+}
+
+// StepInfer advances the hidden state by one input without recording
+// anything for backprop: hOut = GRU(h, x). hOut must have length HiddenDim
+// and may alias h. This is the O(1)-per-point primitive behind t2vec's
+// incremental subtrajectory extension (Φinc = O(1) in Table 1).
+func (g *GRU) StepInfer(h, x, hOut []float64) {
+	hd := g.HiddenDim
+	z := make([]float64, hd)
+	r := make([]float64, hd)
+	rh := make([]float64, hd)
+	cand := make([]float64, hd)
+
+	g.Wz.MatVec(x, z)
+	g.Uz.MatVecAdd(h, z)
+	g.Wr.MatVec(x, r)
+	g.Ur.MatVecAdd(h, r)
+	for i := 0; i < hd; i++ {
+		z[i] = sigmoid(z[i] + g.Bz.W[i])
+		r[i] = sigmoid(r[i] + g.Br.W[i])
+		rh[i] = r[i] * h[i]
+	}
+	g.Wh.MatVec(x, cand)
+	g.Uh.MatVecAdd(rh, cand)
+	for i := 0; i < hd; i++ {
+		c := math.Tanh(cand[i] + g.Bh.W[i])
+		hOut[i] = (1-z[i])*h[i] + z[i]*c
+	}
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// gruCache records one forward step for BPTT.
+type gruCache struct {
+	x, hPrev, z, r, rh, cand, h []float64
+}
+
+// GRURun is a recorded forward pass over a sequence, supporting
+// backpropagation through time.
+type GRURun struct {
+	g      *GRU
+	h0     []float64
+	caches []gruCache
+}
+
+// NewRun begins a recorded sequence from initial hidden state h0 (copied).
+// Pass nil for a zero initial state.
+func (g *GRU) NewRun(h0 []float64) *GRURun {
+	h := make([]float64, g.HiddenDim)
+	copy(h, h0)
+	return &GRURun{g: g, h0: h}
+}
+
+// H returns the current hidden state (the last step's output, or h0).
+func (r *GRURun) H() []float64 {
+	if len(r.caches) == 0 {
+		return r.h0
+	}
+	return r.caches[len(r.caches)-1].h
+}
+
+// Steps returns the number of recorded steps.
+func (r *GRURun) Steps() int { return len(r.caches) }
+
+// HiddenAt returns the hidden state after step t (0-based).
+func (r *GRURun) HiddenAt(t int) []float64 { return r.caches[t].h }
+
+// Step consumes one input and returns the new hidden state. x is copied.
+func (r *GRURun) Step(x []float64) []float64 {
+	g := r.g
+	hd := g.HiddenDim
+	c := gruCache{
+		x:     append([]float64(nil), x...),
+		hPrev: append([]float64(nil), r.H()...),
+		z:     make([]float64, hd),
+		r:     make([]float64, hd),
+		rh:    make([]float64, hd),
+		cand:  make([]float64, hd),
+		h:     make([]float64, hd),
+	}
+	g.Wz.MatVec(c.x, c.z)
+	g.Uz.MatVecAdd(c.hPrev, c.z)
+	g.Wr.MatVec(c.x, c.r)
+	g.Ur.MatVecAdd(c.hPrev, c.r)
+	for i := 0; i < hd; i++ {
+		c.z[i] = sigmoid(c.z[i] + g.Bz.W[i])
+		c.r[i] = sigmoid(c.r[i] + g.Br.W[i])
+		c.rh[i] = c.r[i] * c.hPrev[i]
+	}
+	g.Wh.MatVec(c.x, c.cand)
+	g.Uh.MatVecAdd(c.rh, c.cand)
+	for i := 0; i < hd; i++ {
+		c.cand[i] = math.Tanh(c.cand[i] + g.Bh.W[i])
+		c.h[i] = (1-c.z[i])*c.hPrev[i] + c.z[i]*c.cand[i]
+	}
+	r.caches = append(r.caches, c)
+	return c.h
+}
+
+// Backward runs BPTT over the recorded steps. dH[t] is dL/dh_t for each
+// recorded step (entries may be nil when a step's hidden state does not
+// receive a direct gradient); gradients are accumulated into the GRU
+// parameter tensors. It returns dL/dh0 and, when dX is non-nil, fills
+// dX[t] (length InDim each) with input gradients.
+func (r *GRURun) Backward(dH [][]float64, dX [][]float64) []float64 {
+	g := r.g
+	hd := g.HiddenDim
+	dh := make([]float64, hd) // gradient flowing into h_t from the future
+	dhPrev := make([]float64, hd)
+	daz := make([]float64, hd)
+	dar := make([]float64, hd)
+	dah := make([]float64, hd)
+	drh := make([]float64, hd)
+	for t := len(r.caches) - 1; t >= 0; t-- {
+		c := r.caches[t]
+		if dH != nil && dH[t] != nil {
+			for i := range dh {
+				dh[i] += dH[t][i]
+			}
+		}
+		for i := range dhPrev {
+			dhPrev[i] = 0
+			drh[i] = 0
+		}
+		for i := 0; i < hd; i++ {
+			// h = (1-z)·hPrev + z·cand
+			dcand := dh[i] * c.z[i]
+			dz := dh[i] * (c.cand[i] - c.hPrev[i])
+			dhPrev[i] += dh[i] * (1 - c.z[i])
+			dah[i] = dcand * (1 - c.cand[i]*c.cand[i])
+			daz[i] = dz * c.z[i] * (1 - c.z[i])
+		}
+		// candidate path: ah = Wh·x + Uh·rh + bh
+		g.Wh.AccumOuter(dah, c.x)
+		g.Uh.AccumOuter(dah, c.rh)
+		for i := 0; i < hd; i++ {
+			g.Bh.G[i] += dah[i]
+		}
+		g.Uh.MatTVecAdd(dah, drh)
+		for i := 0; i < hd; i++ {
+			dr := drh[i] * c.hPrev[i]
+			dhPrev[i] += drh[i] * c.r[i]
+			dar[i] = dr * c.r[i] * (1 - c.r[i])
+		}
+		// reset gate path: ar = Wr·x + Ur·hPrev + br
+		g.Wr.AccumOuter(dar, c.x)
+		g.Ur.AccumOuter(dar, c.hPrev)
+		for i := 0; i < hd; i++ {
+			g.Br.G[i] += dar[i]
+		}
+		g.Ur.MatTVecAdd(dar, dhPrev)
+		// update gate path: az = Wz·x + Uz·hPrev + bz
+		g.Wz.AccumOuter(daz, c.x)
+		g.Uz.AccumOuter(daz, c.hPrev)
+		for i := 0; i < hd; i++ {
+			g.Bz.G[i] += daz[i]
+		}
+		g.Uz.MatTVecAdd(daz, dhPrev)
+		if dX != nil {
+			dx := make([]float64, g.InDim)
+			g.Wh.MatTVecAdd(dah, dx)
+			g.Wr.MatTVecAdd(dar, dx)
+			g.Wz.MatTVecAdd(daz, dx)
+			dX[t] = dx
+		}
+		dh, dhPrev = dhPrev, dh
+	}
+	out := make([]float64, hd)
+	copy(out, dh)
+	return out
+}

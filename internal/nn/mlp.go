@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation is an elementwise nonlinearity.
+type Activation int
+
+// Supported activations. The paper's DQN uses ReLU in the hidden layer and
+// sigmoid at the output (§6.1).
+const (
+	Linear Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// apply computes the activation of v.
+func (a Activation) apply(v float64) float64 {
+	switch a {
+	case Linear:
+		return v
+	case ReLU:
+		if v > 0 {
+			return v
+		}
+		return 0
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-v))
+	case Tanh:
+		return math.Tanh(v)
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// deriv computes the activation derivative given the activated output y.
+func (a Activation) deriv(y float64) float64 {
+	switch a {
+	case Linear:
+		return 1
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// Dense is a fully connected layer y = act(W·x + b).
+type Dense struct {
+	W   *Tensor // Out×In
+	B   *Tensor // 1×Out
+	Act Activation
+
+	// caches for backward
+	inx  []float64
+	outy []float64
+}
+
+// NewDense builds a dense layer with Xavier-initialized weights.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W:   NewTensor(out, in),
+		B:   NewTensor(1, out),
+		Act: act,
+	}
+	d.W.InitXavier(rng)
+	return d
+}
+
+// In returns the input width.
+func (d *Dense) In() int { return d.W.Cols }
+
+// Out returns the output width.
+func (d *Dense) Out() int { return d.W.Rows }
+
+// Forward computes the layer output, caching values for Backward.
+func (d *Dense) Forward(x []float64) []float64 {
+	out := d.W.Rows
+	if cap(d.outy) < out {
+		d.outy = make([]float64, out)
+		d.inx = make([]float64, d.W.Cols)
+	}
+	d.outy = d.outy[:out]
+	d.inx = d.inx[:d.W.Cols]
+	copy(d.inx, x)
+	d.W.MatVec(x, d.outy)
+	for i := range d.outy {
+		d.outy[i] = d.Act.apply(d.outy[i] + d.B.W[i])
+	}
+	y := make([]float64, out)
+	copy(y, d.outy)
+	return y
+}
+
+// Infer computes the layer output without touching the Backward caches,
+// making it safe for concurrent use (inference only).
+func (d *Dense) Infer(x []float64) []float64 {
+	y := make([]float64, d.W.Rows)
+	d.W.MatVec(x, y)
+	for i := range y {
+		y[i] = d.Act.apply(y[i] + d.B.W[i])
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients for the most recent Forward and
+// returns dL/dx. dy is dL/dy and is not retained.
+func (d *Dense) Backward(dy []float64) []float64 {
+	out := d.W.Rows
+	if len(dy) != out {
+		panic("nn: Dense.Backward gradient width mismatch")
+	}
+	dz := make([]float64, out)
+	for i := range dz {
+		dz[i] = dy[i] * d.Act.deriv(d.outy[i])
+	}
+	for i := range dz {
+		d.B.G[i] += dz[i]
+	}
+	d.W.AccumOuter(dz, d.inx)
+	dx := make([]float64, d.W.Cols)
+	d.W.MatTVecAdd(dz, dx)
+	return dx
+}
+
+// Params returns the layer's parameter tensors.
+func (d *Dense) Params() Params { return Params{d.W, d.B} }
+
+// MLP is a feed-forward stack of dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer widths and per-layer
+// activations; len(acts) must equal len(widths)-1.
+func NewMLP(widths []int, acts []Activation, rng *rand.Rand) *MLP {
+	if len(acts) != len(widths)-1 {
+		panic("nn: NewMLP needs one activation per layer")
+	}
+	m := &MLP{}
+	for i := 0; i < len(widths)-1; i++ {
+		m.Layers = append(m.Layers, NewDense(widths[i], widths[i+1], acts[i], rng))
+	}
+	return m
+}
+
+// Forward runs the network, caching per-layer values for Backward.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Infer runs the network without recording anything for Backward; unlike
+// Forward it is safe for concurrent use.
+func (m *MLP) Infer(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Infer(x)
+	}
+	return x
+}
+
+// Backward accumulates gradients for the most recent Forward given dL/dOut
+// and returns dL/dIn.
+func (m *MLP) Backward(dy []float64) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns all parameter tensors in a stable order.
+func (m *MLP) Params() Params {
+	var p Params
+	for _, l := range m.Layers {
+		p = append(p, l.Params()...)
+	}
+	return p
+}
+
+// In returns the network input width.
+func (m *MLP) In() int { return m.Layers[0].In() }
+
+// Out returns the network output width.
+func (m *MLP) Out() int { return m.Layers[len(m.Layers)-1].Out() }
+
+// Clone returns a structural copy with the same parameter values and fresh
+// gradient/cache state. Used for DQN target networks.
+func (m *MLP) Clone() *MLP {
+	out := &MLP{}
+	for _, l := range m.Layers {
+		nl := &Dense{
+			W:   NewTensor(l.W.Rows, l.W.Cols),
+			B:   NewTensor(l.B.Rows, l.B.Cols),
+			Act: l.Act,
+		}
+		nl.W.CopyFrom(l.W)
+		nl.B.CopyFrom(l.B)
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}
+
+// MSELoss computes ½·Σ(pred-target)² and its gradient with respect to pred.
+// The ½ makes the gradient simply (pred - target).
+func MSELoss(pred, target []float64) (loss float64, grad []float64) {
+	if len(pred) != len(target) {
+		panic("nn: MSELoss length mismatch")
+	}
+	grad = make([]float64, len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		grad[i] = d
+		loss += 0.5 * d * d
+	}
+	return loss, grad
+}

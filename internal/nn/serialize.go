@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// mlpWire is the gob wire form of an MLP.
+type mlpWire struct {
+	Ins, Outs []int
+	Acts      []int
+	Weights   [][]float64
+	Biases    [][]float64
+}
+
+// SaveMLP serializes an MLP (architecture and parameters) with encoding/gob.
+func SaveMLP(w io.Writer, m *MLP) error {
+	var wire mlpWire
+	for _, l := range m.Layers {
+		wire.Ins = append(wire.Ins, l.In())
+		wire.Outs = append(wire.Outs, l.Out())
+		wire.Acts = append(wire.Acts, int(l.Act))
+		wire.Weights = append(wire.Weights, append([]float64(nil), l.W.W...))
+		wire.Biases = append(wire.Biases, append([]float64(nil), l.B.W...))
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// LoadMLP reads an MLP previously written by SaveMLP.
+func LoadMLP(r io.Reader) (*MLP, error) {
+	var wire mlpWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("nn: decoding MLP: %w", err)
+	}
+	m := &MLP{}
+	for i := range wire.Ins {
+		l := &Dense{
+			W:   NewTensor(wire.Outs[i], wire.Ins[i]),
+			B:   NewTensor(1, wire.Outs[i]),
+			Act: Activation(wire.Acts[i]),
+		}
+		if len(wire.Weights[i]) != l.W.Size() || len(wire.Biases[i]) != l.B.Size() {
+			return nil, fmt.Errorf("nn: MLP layer %d has inconsistent sizes", i)
+		}
+		copy(l.W.W, wire.Weights[i])
+		copy(l.B.W, wire.Biases[i])
+		m.Layers = append(m.Layers, l)
+	}
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("nn: decoded MLP has no layers")
+	}
+	return m, nil
+}
+
+// SaveMLPFile writes the MLP to the named file.
+func SaveMLPFile(path string, m *MLP) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return SaveMLP(f, m)
+}
+
+// LoadMLPFile reads an MLP from the named file.
+func LoadMLPFile(path string) (*MLP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadMLP(f)
+}
+
+// gruWire is the gob wire form of a GRU cell.
+type gruWire struct {
+	In, Hidden int
+	Tensors    [][]float64
+}
+
+// SaveGRU serializes a GRU cell with encoding/gob.
+func SaveGRU(w io.Writer, g *GRU) error {
+	wire := gruWire{In: g.InDim, Hidden: g.HiddenDim}
+	for _, t := range g.Params() {
+		wire.Tensors = append(wire.Tensors, append([]float64(nil), t.W...))
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// LoadGRU reads a GRU cell previously written by SaveGRU.
+func LoadGRU(r io.Reader) (*GRU, error) {
+	var wire gruWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("nn: decoding GRU: %w", err)
+	}
+	g := &GRU{
+		InDim: wire.In, HiddenDim: wire.Hidden,
+		Wz: NewTensor(wire.Hidden, wire.In), Uz: NewTensor(wire.Hidden, wire.Hidden), Bz: NewTensor(1, wire.Hidden),
+		Wr: NewTensor(wire.Hidden, wire.In), Ur: NewTensor(wire.Hidden, wire.Hidden), Br: NewTensor(1, wire.Hidden),
+		Wh: NewTensor(wire.Hidden, wire.In), Uh: NewTensor(wire.Hidden, wire.Hidden), Bh: NewTensor(1, wire.Hidden),
+	}
+	ps := g.Params()
+	if len(wire.Tensors) != len(ps) {
+		return nil, fmt.Errorf("nn: GRU wire has %d tensors, want %d", len(wire.Tensors), len(ps))
+	}
+	for i, t := range ps {
+		if len(wire.Tensors[i]) != t.Size() {
+			return nil, fmt.Errorf("nn: GRU tensor %d has %d values, want %d", i, len(wire.Tensors[i]), t.Size())
+		}
+		copy(t.W, wire.Tensors[i])
+	}
+	return g, nil
+}

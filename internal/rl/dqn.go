@@ -1,0 +1,283 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"simsub/internal/nn"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// Config holds the MDP and DQN hyperparameters. Zero values take the
+// defaults of §6.1: a 2-layer feed-forward network with 20 ReLU units and a
+// sigmoid output of width 2+k, replay memory 2000, Adam at 0.001, ε-greedy
+// with minimum 0.05 and decay 0.99 per episode, discount γ = 0.95.
+type Config struct {
+	// K is the number of skip actions: 0 trains an RLS policy, k > 0 an
+	// RLS-Skip policy (the paper defaults to k = 3).
+	K int
+	// UseSuffix includes Θsuf in the state (dropped for t2vec and for
+	// RLS-Skip+).
+	UseSuffix bool
+	// SimplifyState enables RLS-Skip's skipped-point state simplification.
+	// Ignored when K == 0.
+	SimplifyState bool
+	// Hidden is the width of the hidden layer (default 20).
+	Hidden int
+	// Gamma is the reward discount (default 0.95).
+	Gamma float64
+	// EpsMin and EpsDecay control ε-greedy exploration (defaults 0.05,
+	// 0.99); ε starts at 1 and decays per episode.
+	EpsMin, EpsDecay float64
+	// ReplayCap is the replay memory capacity (default 2000).
+	ReplayCap int
+	// BatchSize is the minibatch size per gradient step (default 32).
+	BatchSize int
+	// LR is the Adam learning rate (default 0.001).
+	LR float64
+	// Episodes is the number of training episodes (default 200).
+	Episodes int
+	// DoubleDQN, when set, selects the bootstrap action with the main
+	// network and evaluates it with the target network (van Hasselt et
+	// al.), reducing the overestimation bias of vanilla DQN. An extension
+	// beyond the paper, off by default.
+	DoubleDQN bool
+	// Seed seeds all randomness (default 1).
+	Seed int64
+	// Verbose, when non-nil, receives progress lines.
+	Verbose func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Hidden == 0 {
+		c.Hidden = 20
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.95
+	}
+	if c.EpsMin == 0 {
+		c.EpsMin = 0.05
+	}
+	if c.EpsDecay == 0 {
+		c.EpsDecay = 0.99
+	}
+	if c.ReplayCap == 0 {
+		c.ReplayCap = 2000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.001
+	}
+	if c.Episodes == 0 {
+		c.Episodes = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// experience is one replay-memory transition (s, a, r, s', done).
+type experience struct {
+	state     []float64
+	action    int
+	reward    float64
+	nextState []float64
+	done      bool
+}
+
+// replayMemory is the fixed-capacity experience pool of §5.2 with uniform
+// sampling, breaking the correlation of consecutive transitions.
+type replayMemory struct {
+	buf  []experience
+	next int
+	full bool
+}
+
+func newReplayMemory(capacity int) *replayMemory {
+	return &replayMemory{buf: make([]experience, capacity)}
+}
+
+func (r *replayMemory) add(e experience) {
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *replayMemory) size() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// sample draws k experiences uniformly with replacement.
+func (r *replayMemory) sample(rng *rand.Rand, k int, out []experience) []experience {
+	n := r.size()
+	out = out[:0]
+	for i := 0; i < k; i++ {
+		out = append(out, r.buf[rng.Intn(n)])
+	}
+	return out
+}
+
+// TrainStats summarizes a DQN training run.
+type TrainStats struct {
+	// EpisodeReward is the undiscounted return (final Θbest) per episode.
+	EpisodeReward []float64
+	// Steps is the total number of environment steps taken.
+	Steps int
+	// Duration is the wall-clock training time.
+	Duration time.Duration
+}
+
+// MeanRecentReward averages the last k episode rewards (all when k exceeds
+// the episode count).
+func (s TrainStats) MeanRecentReward(k int) float64 {
+	n := len(s.EpisodeReward)
+	if n == 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	var sum float64
+	for _, r := range s.EpisodeReward[n-k:] {
+		sum += r
+	}
+	return sum / float64(k)
+}
+
+// Train runs Algorithm 3: deep Q-network learning with experience replay
+// over episodes that each sample a (data, query) trajectory pair uniformly.
+// It returns the greedy policy for the learned Q function.
+func Train(data, queries []traj.Trajectory, m sim.Measure, cfg Config) (*Policy, TrainStats, error) {
+	cfg.fill()
+	if len(data) == 0 || len(queries) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("rl: empty training data (%d data, %d queries)", len(data), len(queries))
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stateDim := StateDim(cfg.UseSuffix)
+	actions := 2 + cfg.K
+	// main and target networks (lines 2-3): 20 ReLU units then sigmoid
+	// outputs, one per action (§6.1)
+	qNet := nn.NewMLP([]int{stateDim, cfg.Hidden, actions}, []nn.Activation{nn.ReLU, nn.Sigmoid}, rng)
+	target := qNet.Clone()
+	opt := nn.NewAdam(qNet.Params(), cfg.LR)
+	opt.Clip = 1
+	memory := newReplayMemory(cfg.ReplayCap)
+	batch := make([]experience, 0, cfg.BatchSize)
+
+	stats := TrainStats{}
+	eps := 1.0
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		// line 5: sample a data and a query trajectory uniformly
+		t := data[rng.Intn(len(data))]
+		q := queries[rng.Intn(len(queries))]
+		if t.Len() == 0 || q.Len() == 0 {
+			continue
+		}
+		env := NewSplitEnv(m, t, q, EnvConfig{
+			UseSuffix:     cfg.UseSuffix,
+			SimplifyState: cfg.SimplifyState && cfg.K > 0,
+		})
+		state := env.State()
+		for !env.Done() {
+			// line 10: ε-greedy action selection on the main network
+			var action int
+			if rng.Float64() < eps {
+				action = rng.Intn(actions)
+			} else {
+				action = argmax(qNet.Forward(state))
+			}
+			reward := env.Step(action)
+			stats.Steps++
+			done := env.Done()
+			var nextState []float64
+			if !done {
+				nextState = env.State()
+			}
+			// line 21: store the experience
+			memory.add(experience{state: state, action: action, reward: reward, nextState: nextState, done: done})
+			// lines 22-23: minibatch gradient step on Equation 3
+			if memory.size() >= cfg.BatchSize {
+				batch = memory.sample(rng, cfg.BatchSize, batch)
+				trainBatch(qNet, target, batch, cfg.Gamma, cfg.DoubleDQN, opt)
+			}
+			if !done {
+				state = nextState
+			}
+		}
+		_, dBest := env.Best()
+		stats.EpisodeReward = append(stats.EpisodeReward, bestSim(dBest))
+		// line 25: synchronize the target network each episode
+		target.Params().CopyFrom(qNet.Params())
+		if eps > cfg.EpsMin {
+			eps *= cfg.EpsDecay
+			if eps < cfg.EpsMin {
+				eps = cfg.EpsMin
+			}
+		}
+		if cfg.Verbose != nil && (ep+1)%50 == 0 {
+			cfg.Verbose("rl: episode %d/%d eps=%.3f recent reward=%.4f",
+				ep+1, cfg.Episodes, eps, stats.MeanRecentReward(50))
+		}
+	}
+	stats.Duration = time.Since(start)
+	return &Policy{
+		Net:           qNet,
+		K:             cfg.K,
+		UseSuffix:     cfg.UseSuffix,
+		SimplifyState: cfg.SimplifyState && cfg.K > 0,
+	}, stats, nil
+}
+
+// trainBatch performs one gradient step on the DQN loss (Equation 3) over a
+// minibatch. With double enabled, the bootstrap uses the main network for
+// action selection and the target network for evaluation.
+func trainBatch(qNet, target *nn.MLP, batch []experience, gamma float64, double bool, opt *nn.Adam) {
+	for _, e := range batch {
+		y := e.reward
+		if !e.done {
+			if double {
+				a := argmax(qNet.Infer(e.nextState))
+				y += gamma * target.Infer(e.nextState)[a]
+			} else {
+				y += gamma * maxOf(target.Infer(e.nextState))
+			}
+		}
+		out := qNet.Forward(e.state)
+		grad := make([]float64, len(out))
+		grad[e.action] = out[e.action] - y // d/dQ of ½(Q-y)²
+		qNet.Backward(grad)
+	}
+	opt.Step()
+}
+
+func argmax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+func maxOf(v []float64) float64 {
+	best := math.Inf(-1)
+	for _, x := range v {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,96 @@
+package rl
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"simsub/internal/nn"
+)
+
+// Policy is a greedy policy over a learned Q function: for a state s it
+// takes arg max_a Q(s, a; θ) (§5.3). It also records the MDP shape it was
+// trained for, so search algorithms can reconstruct matching environments.
+type Policy struct {
+	// Net is the trained main network Q(s, a; θ).
+	Net *nn.MLP
+	// K is the number of skip actions the policy was trained with.
+	K int
+	// UseSuffix records whether states include the Θsuf component.
+	UseSuffix bool
+	// SimplifyState records whether prefix state maintenance excludes
+	// skipped points.
+	SimplifyState bool
+}
+
+// Action returns the greedy action for the state. It is safe for
+// concurrent use (inference does not touch the training caches).
+func (p *Policy) Action(state []float64) int {
+	return argmax(p.Net.Infer(state))
+}
+
+// NumActions returns the policy's action-space size.
+func (p *Policy) NumActions() int { return 2 + p.K }
+
+// Save serializes the policy (metadata header plus network weights).
+func (p *Policy) Save(w io.Writer) error {
+	suffix, simplify := 0, 0
+	if p.UseSuffix {
+		suffix = 1
+	}
+	if p.SimplifyState {
+		simplify = 1
+	}
+	if _, err := fmt.Fprintf(w, "rlspolicy %d %d %d\n", p.K, suffix, simplify); err != nil {
+		return err
+	}
+	return nn.SaveMLP(w, p.Net)
+}
+
+// Load reads a policy written by Save.
+func Load(r io.Reader) (*Policy, error) {
+	var tag string
+	var k, suffix, simplify int
+	if _, err := fmt.Fscanf(r, "%s %d %d %d\n", &tag, &k, &suffix, &simplify); err != nil {
+		return nil, fmt.Errorf("rl: reading policy header: %w", err)
+	}
+	if tag != "rlspolicy" {
+		return nil, fmt.Errorf("rl: bad policy header tag %q", tag)
+	}
+	net, err := nn.LoadMLP(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &Policy{Net: net, K: k, UseSuffix: suffix == 1, SimplifyState: simplify == 1}
+	if net.In() != StateDim(p.UseSuffix) {
+		return nil, fmt.Errorf("rl: network input %d inconsistent with suffix flag", net.In())
+	}
+	if net.Out() != p.NumActions() {
+		return nil, fmt.Errorf("rl: network output %d inconsistent with k=%d", net.Out(), k)
+	}
+	return p, nil
+}
+
+// SaveFile writes the policy to the named file.
+func (p *Policy) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return p.Save(f)
+}
+
+// LoadFile reads a policy from the named file.
+func LoadFile(path string) (*Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

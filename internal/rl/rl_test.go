@@ -1,0 +1,417 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"simsub/internal/geo"
+	"simsub/internal/nn"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+func randTraj(rng *rand.Rand, n int) traj.Trajectory {
+	pts := make([]geo.Point, n)
+	x, y := rng.Float64()*10, rng.Float64()*10
+	for i := range pts {
+		x += rng.NormFloat64()
+		y += rng.NormFloat64()
+		pts[i] = geo.Point{X: x, Y: y, T: float64(i)}
+	}
+	return traj.New(pts...)
+}
+
+// constantPolicy returns a policy whose network always prefers the given
+// action, regardless of state: zero weights with a strong output bias.
+func constantPolicy(action, k int, useSuffix bool) *Policy {
+	dim := StateDim(useSuffix)
+	actions := 2 + k
+	net := nn.NewMLP([]int{dim, 2, actions}, []nn.Activation{nn.ReLU, nn.Sigmoid}, rand.New(rand.NewSource(1)))
+	for _, l := range net.Layers {
+		for i := range l.W.W {
+			l.W.W[i] = 0
+		}
+		for i := range l.B.W {
+			l.B.W[i] = -5
+		}
+	}
+	out := net.Layers[len(net.Layers)-1]
+	out.B.W[action] = 5
+	return &Policy{Net: net, K: k, UseSuffix: useSuffix}
+}
+
+func TestEnvRewardTelescopes(t *testing.T) {
+	// §5.1: the undiscounted return equals the final Θbest (initial Θbest
+	// is 0), for any action sequence.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		data := randTraj(rng, rng.Intn(15)+1)
+		q := randTraj(rng, rng.Intn(5)+1)
+		for _, cfg := range []EnvConfig{
+			{UseSuffix: true},
+			{UseSuffix: false},
+			{UseSuffix: true, SimplifyState: true},
+		} {
+			env := NewSplitEnv(sim.DTW{}, data, q, cfg)
+			total := 0.0
+			k := 2
+			for !env.Done() {
+				total += env.Step(rng.Intn(2 + k))
+			}
+			_, dBest := env.Best()
+			if math.Abs(total-bestSim(dBest)) > 1e-9 {
+				t.Fatalf("cfg %+v: return %v != final Θbest %v", cfg, total, bestSim(dBest))
+			}
+		}
+	}
+}
+
+func TestEnvNoSplitTracksPrefixAndSuffixMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randTraj(rng, 10)
+	q := randTraj(rng, 4)
+	m := sim.DTW{}
+	env := NewSplitEnv(m, data, q, EnvConfig{UseSuffix: true})
+	for !env.Done() {
+		env.Step(0)
+	}
+	_, dBest := env.Best()
+	// without splits, candidates are prefixes T[0,i] and suffixes T[i,n-1]
+	want := math.Inf(1)
+	n := data.Len()
+	for i := 0; i < n; i++ {
+		if d := m.Dist(data.Sub(0, i), q); d < want {
+			want = d
+		}
+		if d := m.Dist(data.Sub(i, n-1), q); d < want { // DTW reversal-invariant
+			want = d
+		}
+	}
+	if math.Abs(dBest-want) > 1e-9 {
+		t.Errorf("no-split best %v, want %v", dBest, want)
+	}
+}
+
+func TestEnvAlwaysSplitScansSinglePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randTraj(rng, 8)
+	q := randTraj(rng, 3)
+	m := sim.DTW{}
+	env := NewSplitEnv(m, data, q, EnvConfig{UseSuffix: false})
+	for !env.Done() {
+		env.Step(1)
+	}
+	_, dBest := env.Best()
+	want := math.Inf(1)
+	for i := 0; i < data.Len(); i++ {
+		if d := m.Dist(data.Sub(i, i), q); d < want {
+			want = d
+		}
+	}
+	if math.Abs(dBest-want) > 1e-9 {
+		t.Errorf("always-split best %v, want min single-point %v", dBest, want)
+	}
+}
+
+func TestEnvStateShape(t *testing.T) {
+	data := traj.FromXY(0, 0, 1, 0, 2, 0)
+	q := traj.FromXY(0, 0)
+	with := NewSplitEnv(sim.DTW{}, data, q, EnvConfig{UseSuffix: true})
+	if got := len(with.State()); got != 3 || with.StateDim() != 3 {
+		t.Errorf("suffix state width = %d, want 3", got)
+	}
+	without := NewSplitEnv(sim.DTW{}, data, q, EnvConfig{UseSuffix: false})
+	if got := len(without.State()); got != 2 || without.StateDim() != 2 {
+		t.Errorf("no-suffix state width = %d, want 2", got)
+	}
+	// initial state: Θbest = 0, Θpre = Sim(d(T[0,0], q))
+	s := with.State()
+	if s[0] != 0 {
+		t.Errorf("initial Θbest = %v, want 0", s[0])
+	}
+	wantPre := sim.Sim((sim.DTW{}).Dist(data.Sub(0, 0), q))
+	if math.Abs(s[1]-wantPre) > 1e-12 {
+		t.Errorf("initial Θpre = %v, want %v", s[1], wantPre)
+	}
+}
+
+func TestEnvSkipAdvancesPosition(t *testing.T) {
+	data := traj.FromXY(0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0)
+	q := traj.FromXY(0, 0)
+	env := NewSplitEnv(sim.DTW{}, data, q, EnvConfig{UseSuffix: false, SimplifyState: true})
+	if env.Pos() != 0 {
+		t.Fatalf("initial pos = %d", env.Pos())
+	}
+	env.Step(3) // skip 2 points: scan p3 next (index 3)
+	if env.Pos() != 3 {
+		t.Errorf("pos after skip-2 = %d, want 3", env.Pos())
+	}
+	env.Step(2) // skip 1: next would be 5
+	if env.Pos() != 5 {
+		t.Errorf("pos after skip-1 = %d, want 5", env.Pos())
+	}
+	if env.Done() {
+		t.Error("episode should not be done until the final point is acted on")
+	}
+	env.Step(0)
+	if !env.Done() {
+		t.Error("acting on the final point should finish the episode")
+	}
+}
+
+func TestEnvSkipClampsToFinalPoint(t *testing.T) {
+	data := traj.FromXY(0, 0, 1, 0, 2, 0)
+	q := traj.FromXY(0, 0)
+	env := NewSplitEnv(sim.DTW{}, data, q, EnvConfig{})
+	env.Step(5) // huge skip: clamps to the last point rather than past it
+	if env.Pos() != 2 || env.Done() {
+		t.Errorf("pos = %d done = %v, want pos 2 not done", env.Pos(), env.Done())
+	}
+}
+
+func TestEnvSimplifiedStatePrefixExcludesSkipped(t *testing.T) {
+	// with SimplifyState, after skipping point 1 the prefix at point 2 is
+	// the two-point sequence <p0, p2>, not T[0,2]
+	data := traj.FromXY(0, 0, 100, 100, 2, 0)
+	q := traj.FromXY(0, 0, 2, 0)
+	m := sim.DTW{}
+	env := NewSplitEnv(m, data, q, EnvConfig{UseSuffix: false, SimplifyState: true})
+	env.Step(2) // skip p1
+	simplified := traj.New(geo.Point{X: 0, Y: 0}, geo.Point{X: 2, Y: 0})
+	wantPre := sim.Sim(m.Dist(simplified, q))
+	if got := env.State()[1]; math.Abs(got-wantPre) > 1e-9 {
+		t.Errorf("simplified Θpre = %v, want %v", got, wantPre)
+	}
+	// without simplification the skipped point is streamed through
+	env2 := NewSplitEnv(m, data, q, EnvConfig{UseSuffix: false, SimplifyState: false})
+	env2.Step(2)
+	wantFull := sim.Sim(m.Dist(data.Sub(0, 2), q))
+	if got := env2.State()[1]; math.Abs(got-wantFull) > 1e-9 {
+		t.Errorf("full Θpre = %v, want %v", got, wantFull)
+	}
+}
+
+func TestEnvStepAfterDonePanics(t *testing.T) {
+	data := traj.FromXY(0, 0)
+	q := traj.FromXY(0, 0)
+	env := NewSplitEnv(sim.DTW{}, data, q, EnvConfig{})
+	env.Step(0)
+	if !env.Done() {
+		t.Fatal("single-point episode should finish after one step")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic stepping a finished episode")
+		}
+	}()
+	env.Step(0)
+}
+
+func TestEnvResetRestoresInitialState(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randTraj(rng, 8)
+	q := randTraj(rng, 3)
+	env := NewSplitEnv(sim.DTW{}, data, q, EnvConfig{UseSuffix: true})
+	first := env.State()
+	env.FinishGreedy()
+	env.Reset()
+	second := env.State()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("state after Reset differs: %v vs %v", first, second)
+		}
+	}
+	if env.Done() || env.Pos() != 0 {
+		t.Error("Reset did not rewind the episode")
+	}
+}
+
+func TestReplayMemoryWrapAround(t *testing.T) {
+	m := newReplayMemory(4)
+	for i := 0; i < 10; i++ {
+		m.add(experience{reward: float64(i)})
+	}
+	if m.size() != 4 {
+		t.Fatalf("size = %d, want 4", m.size())
+	}
+	// only the last 4 rewards (6..9) should remain
+	seen := map[float64]bool{}
+	for _, e := range m.buf {
+		seen[e.reward] = true
+	}
+	for r := range seen {
+		if r < 6 {
+			t.Errorf("stale experience %v survived wrap-around", r)
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	batch := m.sample(rng, 8, nil)
+	if len(batch) != 8 {
+		t.Errorf("sample returned %d, want 8", len(batch))
+	}
+}
+
+func TestTrainSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]traj.Trajectory, 10)
+	queries := make([]traj.Trajectory, 10)
+	for i := range data {
+		data[i] = randTraj(rng, 12)
+		queries[i] = randTraj(rng, 4)
+	}
+	p, stats, err := Train(data, queries, sim.DTW{}, Config{
+		Episodes: 30, Seed: 3, UseSuffix: true,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if p == nil || p.K != 0 || !p.UseSuffix {
+		t.Fatalf("unexpected policy %+v", p)
+	}
+	if len(stats.EpisodeReward) != 30 || stats.Steps == 0 || stats.Duration <= 0 {
+		t.Errorf("unexpected stats %+v", stats)
+	}
+	if p.Net.In() != 3 || p.Net.Out() != 2 {
+		t.Errorf("network shape %dx%d, want 3x2", p.Net.In(), p.Net.Out())
+	}
+	// the policy must produce legal actions
+	for trial := 0; trial < 10; trial++ {
+		a := p.Action([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		if a < 0 || a >= 2 {
+			t.Fatalf("illegal action %d", a)
+		}
+	}
+}
+
+func TestTrainSkipConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := make([]traj.Trajectory, 5)
+	queries := make([]traj.Trajectory, 5)
+	for i := range data {
+		data[i] = randTraj(rng, 10)
+		queries[i] = randTraj(rng, 3)
+	}
+	p, _, err := Train(data, queries, sim.DTW{}, Config{
+		Episodes: 10, Seed: 4, K: 3, UseSuffix: true, SimplifyState: true,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if p.K != 3 || !p.SimplifyState || p.NumActions() != 5 {
+		t.Errorf("policy %+v", p)
+	}
+	if p.Net.Out() != 5 {
+		t.Errorf("network out = %d, want 5", p.Net.Out())
+	}
+}
+
+func TestTrainDoubleDQN(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]traj.Trajectory, 6)
+	queries := make([]traj.Trajectory, 6)
+	for i := range data {
+		data[i] = randTraj(rng, 10)
+		queries[i] = randTraj(rng, 3)
+	}
+	p, stats, err := Train(data, queries, sim.DTW{}, Config{
+		Episodes: 15, Seed: 11, UseSuffix: true, DoubleDQN: true,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if p == nil || len(stats.EpisodeReward) != 15 {
+		t.Fatalf("unexpected result %v %+v", p, stats)
+	}
+	// double and vanilla training with the same seed should diverge
+	// (different bootstrap targets)
+	v, _, err := Train(data, queries, sim.DTW{}, Config{
+		Episodes: 15, Seed: 11, UseSuffix: true,
+	})
+	if err != nil {
+		t.Fatalf("Train vanilla: %v", err)
+	}
+	same := true
+	for i, w := range p.Net.Params() {
+		vw := v.Net.Params()[i]
+		for j := range w.W {
+			if w.W[j] != vw.W[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("DoubleDQN had no effect on training")
+	}
+}
+
+func TestTrainEmptyInputs(t *testing.T) {
+	if _, _, err := Train(nil, nil, sim.DTW{}, Config{}); err == nil {
+		t.Error("expected error for empty training sets")
+	}
+}
+
+func TestPolicySaveLoadRoundTrip(t *testing.T) {
+	p := constantPolicy(1, 3, true)
+	p.SimplifyState = true
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.K != 3 || !got.UseSuffix || !got.SimplifyState {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	state := []float64{0.1, 0.2, 0.3}
+	if got.Action(state) != p.Action(state) {
+		t.Error("round-tripped policy decides differently")
+	}
+}
+
+func TestPolicyLoadCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("expected error on corrupt policy data")
+	}
+}
+
+func TestPolicyFileRoundTrip(t *testing.T) {
+	p := constantPolicy(0, 0, false)
+	path := t.TempDir() + "/policy.bin"
+	if err := p.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.K != 0 || got.UseSuffix {
+		t.Errorf("metadata %+v", got)
+	}
+}
+
+func TestConstantPolicyActions(t *testing.T) {
+	for action := 0; action < 4; action++ {
+		p := constantPolicy(action, 2, true)
+		state := []float64{0.5, 0.5, 0.5}
+		if got := p.Action(state); got != action {
+			t.Errorf("constant policy returns %d, want %d", got, action)
+		}
+	}
+}
+
+func TestMeanRecentReward(t *testing.T) {
+	s := TrainStats{EpisodeReward: []float64{1, 2, 3, 4}}
+	if got := s.MeanRecentReward(2); got != 3.5 {
+		t.Errorf("MeanRecentReward(2) = %v, want 3.5", got)
+	}
+	if got := s.MeanRecentReward(100); got != 2.5 {
+		t.Errorf("MeanRecentReward(100) = %v, want 2.5", got)
+	}
+	if got := (TrainStats{}).MeanRecentReward(5); got != 0 {
+		t.Errorf("empty MeanRecentReward = %v, want 0", got)
+	}
+}

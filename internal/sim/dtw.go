@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+func init() { Register("dtw", func() Measure { return DTW{} }) }
+
+// DTW is the classical Dynamic Time Warping dissimilarity (Yi et al., ICDE
+// 1998), Equation 1 of the paper:
+//
+//	D(i,j) = d(p_i,q_j) + min(D(i-1,j-1), D(i-1,j), D(i,j-1))
+//
+// with boundary rows/columns accumulating distances against the first point.
+// Complexities: Φ = O(n·m), Φinc = Φini = O(m).
+type DTW struct{}
+
+// Name implements Measure.
+func (DTW) Name() string { return "dtw" }
+
+// Dist computes the DTW distance between t and q from scratch in O(n·m)
+// time and O(m) space. Both trajectories must be non-empty; the distance of
+// anything against an empty trajectory is +Inf.
+func (DTW) Dist(t, q traj.Trajectory) float64 {
+	n, m := t.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	row := make([]float64, m)
+	// first data point: D(0,j) = sum_{k<=j} d(p0,qk)
+	acc := 0.0
+	for j := 0; j < m; j++ {
+		acc += geo.Dist(t.Pt(0), q.Pt(j))
+		row[j] = acc
+	}
+	for i := 1; i < n; i++ {
+		dtwExtendRow(row, t.Pt(i), q)
+	}
+	return row[m-1]
+}
+
+// dtwExtendRow advances the DP by one data point in place: on entry row
+// holds D(i-1, ·); on exit it holds D(i, ·).
+func dtwExtendRow(row []float64, p geo.Point, q traj.Trajectory) {
+	m := len(row)
+	prevDiag := row[0] // D(i-1, 0)
+	row[0] = geo.Dist(p, q.Pt(0)) + prevDiag
+	for j := 1; j < m; j++ {
+		prevUp := row[j] // D(i-1, j)
+		best := prevDiag // D(i-1, j-1)
+		if prevUp < best {
+			best = prevUp
+		}
+		if row[j-1] < best { // D(i, j-1)
+			best = row[j-1]
+		}
+		row[j] = geo.Dist(p, q.Pt(j)) + best
+		prevDiag = prevUp
+	}
+}
+
+// dtwInc is the incremental DTW computer: it keeps the last DP row (over
+// query indices) and extends it by one data point per Extend call.
+type dtwInc struct {
+	t, q traj.Trajectory
+	row  []float64
+	end  int
+}
+
+// NewIncremental implements Measure.
+func (DTW) NewIncremental(t, q traj.Trajectory) Incremental {
+	return &dtwInc{t: t, q: q, row: make([]float64, q.Len())}
+}
+
+func (c *dtwInc) Init(i int) float64 {
+	m := c.q.Len()
+	if m == 0 {
+		panic("sim: DTW incremental with empty query")
+	}
+	c.end = i
+	acc := 0.0
+	for j := 0; j < m; j++ {
+		acc += geo.Dist(c.t.Pt(i), c.q.Pt(j))
+		c.row[j] = acc
+	}
+	return c.row[m-1]
+}
+
+func (c *dtwInc) Extend() float64 {
+	c.end++
+	dtwExtendRow(c.row, c.t.Pt(c.end), c.q)
+	return c.row[len(c.row)-1]
+}
+
+func (c *dtwInc) End() int { return c.end }
+
+func init() { Register("cdtw", func() Measure { return CDTW{R: 0.25} }) }
+
+// CDTW is DTW constrained to a Sakoe-Chiba band: data point p_i may only be
+// aligned with query points q_j whose index satisfies
+// |j·n/m - i| <= R·n (equivalently the paper's j ∈ [i-R·|T|, i+R·|T|] after
+// rescaling the two index ranges onto each other). R ∈ [0,1]; R = 1 recovers
+// unconstrained DTW. Cells outside the band are +Inf. This is the distance
+// UCR and Spring are evaluated with in Figures 8 and 13.
+type CDTW struct {
+	// R is the relative band width in [0, 1].
+	R float64
+}
+
+// Name implements Measure.
+func (c CDTW) Name() string { return "cdtw" }
+
+// Dist computes band-constrained DTW from scratch. Unreachable alignments
+// yield +Inf.
+func (c CDTW) Dist(t, q traj.Trajectory) float64 {
+	n, m := t.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	w := c.bandWidth(n, m)
+	inf := math.Inf(1)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for j := range prev {
+		prev[j] = inf
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := bandRange(i, n, m, w)
+		for j := range cur {
+			cur[j] = inf
+		}
+		for j := lo; j <= hi; j++ {
+			d := geo.Dist(t.Pt(i), q.Pt(j))
+			switch {
+			case i == 0 && j == 0:
+				cur[j] = d
+			case i == 0:
+				cur[j] = d + cur[j-1]
+			case j == 0:
+				cur[j] = d + prev[j]
+			default:
+				best := prev[j-1]
+				if prev[j] < best {
+					best = prev[j]
+				}
+				if cur[j-1] < best {
+					best = cur[j-1]
+				}
+				cur[j] = d + best
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// bandWidth returns the absolute half-width of the band in query-index
+// units: R scaled by the larger sequence length, minimum 1 so the diagonal
+// is always reachable.
+func (c CDTW) bandWidth(n, m int) int {
+	l := n
+	if m > l {
+		l = m
+	}
+	w := int(math.Ceil(c.R * float64(l)))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// bandRange returns the inclusive query-index range reachable from data
+// index i under half-width w, after mapping i onto the query index scale.
+func bandRange(i, n, m, w int) (lo, hi int) {
+	center := 0
+	if n > 1 {
+		center = i * (m - 1) / (n - 1)
+	}
+	lo, hi = center-w, center+w
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m-1 {
+		hi = m - 1
+	}
+	return lo, hi
+}
+
+// cdtwInc satisfies the Incremental interface for CDTW. The Sakoe-Chiba band
+// geometry depends on the final subtrajectory length (the band is laid along
+// the rescaled diagonal), so band-constrained DTW cannot be extended in O(m)
+// the way unconstrained DTW can: each Extend recomputes from scratch at cost
+// Φ. CDTW is only used by the UCR/Spring comparison (Figures 8 and 13),
+// which scores fixed-length windows from scratch with early abandoning and
+// never relies on this computer being cheap.
+type cdtwInc struct {
+	meas  CDTW
+	t, q  traj.Trajectory
+	start int
+	end   int
+}
+
+// NewIncremental implements Measure. See cdtwInc for the cost caveat.
+func (c CDTW) NewIncremental(t, q traj.Trajectory) Incremental {
+	return &cdtwInc{meas: c, t: t, q: q}
+}
+
+func (c *cdtwInc) Init(i int) float64 {
+	if c.q.Len() == 0 {
+		panic("sim: CDTW incremental with empty query")
+	}
+	c.start, c.end = i, i
+	return c.meas.Dist(c.t.Sub(i, i), c.q)
+}
+
+func (c *cdtwInc) Extend() float64 {
+	c.end++
+	return c.meas.Dist(c.t.Sub(c.start, c.end), c.q)
+}
+
+func (c *cdtwInc) End() int { return c.end }

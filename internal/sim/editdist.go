@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math"
+
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+// This file implements the point-based edit-distance family reviewed in §2
+// of the paper: ERP (Chen & Ng, VLDB 2004), EDR (Chen et al., SIGMOD 2005)
+// and LCSS (Vlachos et al., ICDE 2002). They are listed by the paper as
+// measurements the abstract Θ can be instantiated with; all expose the same
+// Incremental contract with Φinc = Φini = O(m).
+
+func init() {
+	Register("erp", func() Measure { return ERP{} })
+	Register("edr", func() Measure { return EDR{Eps: 0.25} })
+	Register("lcss", func() Measure { return LCSS{Eps: 0.25} })
+}
+
+// ERP is the Edit distance with Real Penalty. Gaps are penalized by the
+// distance to a fixed gap point Gap (the origin by default), which makes ERP
+// a metric.
+//
+//	ERP(i,j) = min( ERP(i-1,j-1) + d(p_i,q_j),
+//	                ERP(i-1,j)   + d(p_i,g),
+//	                ERP(i,j-1)   + d(q_j,g) )
+type ERP struct {
+	// Gap is the reference point g; the zero value uses the origin.
+	Gap geo.Point
+}
+
+// Name implements Measure.
+func (ERP) Name() string { return "erp" }
+
+// Dist computes ERP from scratch in O(n·m) time and O(m) space.
+func (e ERP) Dist(t, q traj.Trajectory) float64 {
+	n, m := t.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	row := e.baseRow(q)
+	for i := 0; i < n; i++ {
+		e.extendRow(row, t.Pt(i), q)
+	}
+	return row[m]
+}
+
+// baseRow returns ERP(∅, q[0..j-1]) for j = 0..m: the cost of deleting the
+// whole query prefix.
+func (e ERP) baseRow(q traj.Trajectory) []float64 {
+	m := q.Len()
+	row := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		row[j] = row[j-1] + geo.Dist(q.Pt(j-1), e.Gap)
+	}
+	return row
+}
+
+// extendRow advances the DP by one data point in place; row has m+1 cells
+// with row[j] = ERP(prefix, q[0..j-1]).
+func (e ERP) extendRow(row []float64, p geo.Point, q traj.Trajectory) {
+	m := q.Len()
+	gp := geo.Dist(p, e.Gap)
+	prevDiag := row[0]
+	row[0] += gp // delete p
+	for j := 1; j <= m; j++ {
+		prevUp := row[j]
+		match := prevDiag + geo.Dist(p, q.Pt(j-1))
+		delP := prevUp + gp
+		delQ := row[j-1] + geo.Dist(q.Pt(j-1), e.Gap)
+		best := match
+		if delP < best {
+			best = delP
+		}
+		if delQ < best {
+			best = delQ
+		}
+		row[j] = best
+		prevDiag = prevUp
+	}
+}
+
+type erpInc struct {
+	meas ERP
+	t, q traj.Trajectory
+	row  []float64
+	end  int
+}
+
+// NewIncremental implements Measure.
+func (e ERP) NewIncremental(t, q traj.Trajectory) Incremental {
+	return &erpInc{meas: e, t: t, q: q}
+}
+
+func (c *erpInc) Init(i int) float64 {
+	if c.q.Len() == 0 {
+		panic("sim: ERP incremental with empty query")
+	}
+	c.end = i
+	c.row = c.meas.baseRow(c.q)
+	c.meas.extendRow(c.row, c.t.Pt(i), c.q)
+	return c.row[c.q.Len()]
+}
+
+func (c *erpInc) Extend() float64 {
+	c.end++
+	c.meas.extendRow(c.row, c.t.Pt(c.end), c.q)
+	return c.row[c.q.Len()]
+}
+
+func (c *erpInc) End() int { return c.end }
+
+// EDR is the Edit Distance on Real sequence: points match (cost 0) when
+// within Eps in both coordinates, otherwise substitution/insertion/deletion
+// cost 1. The raw edit count is returned (the common normalized variant is
+// raw/max(n,m); algorithms in this library only compare distances of
+// subtrajectories against a fixed query, for which the raw count is the
+// standard choice).
+type EDR struct {
+	// Eps is the matching tolerance per coordinate.
+	Eps float64
+}
+
+// Name implements Measure.
+func (EDR) Name() string { return "edr" }
+
+// match applies EDR's per-coordinate tolerance test.
+func (e EDR) match(p, q geo.Point) bool {
+	return math.Abs(p.X-q.X) <= e.Eps && math.Abs(p.Y-q.Y) <= e.Eps
+}
+
+// Dist computes EDR from scratch in O(n·m) time and O(m) space.
+func (e EDR) Dist(t, q traj.Trajectory) float64 {
+	n, m := t.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	row := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		row[j] = float64(j)
+	}
+	for i := 0; i < n; i++ {
+		e.extendRow(row, t.Pt(i), q)
+	}
+	return row[m]
+}
+
+func (e EDR) extendRow(row []float64, p geo.Point, q traj.Trajectory) {
+	m := q.Len()
+	prevDiag := row[0]
+	row[0]++
+	for j := 1; j <= m; j++ {
+		prevUp := row[j]
+		sub := prevDiag
+		if !e.match(p, q.Pt(j-1)) {
+			sub++
+		}
+		best := sub
+		if prevUp+1 < best {
+			best = prevUp + 1
+		}
+		if row[j-1]+1 < best {
+			best = row[j-1] + 1
+		}
+		row[j] = best
+		prevDiag = prevUp
+	}
+}
+
+type edrInc struct {
+	meas EDR
+	t, q traj.Trajectory
+	row  []float64
+	end  int
+}
+
+// NewIncremental implements Measure.
+func (e EDR) NewIncremental(t, q traj.Trajectory) Incremental {
+	return &edrInc{meas: e, t: t, q: q}
+}
+
+func (c *edrInc) Init(i int) float64 {
+	m := c.q.Len()
+	if m == 0 {
+		panic("sim: EDR incremental with empty query")
+	}
+	c.end = i
+	c.row = make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		c.row[j] = float64(j)
+	}
+	c.meas.extendRow(c.row, c.t.Pt(i), c.q)
+	return c.row[m]
+}
+
+func (c *edrInc) Extend() float64 {
+	c.end++
+	c.meas.extendRow(c.row, c.t.Pt(c.end), c.q)
+	return c.row[c.q.Len()]
+}
+
+func (c *edrInc) End() int { return c.end }
+
+// LCSS derives a dissimilarity from the Longest Common SubSequence: two
+// points match when within Eps per coordinate, and
+//
+//	dist = 1 - LCSS(T,Q) / min(|T|,|Q|)
+//
+// which lies in [0,1] (0 when one trajectory matches inside the other).
+type LCSS struct {
+	// Eps is the matching tolerance per coordinate.
+	Eps float64
+}
+
+// Name implements Measure.
+func (LCSS) Name() string { return "lcss" }
+
+func (l LCSS) match(p, q geo.Point) bool {
+	return math.Abs(p.X-q.X) <= l.Eps && math.Abs(p.Y-q.Y) <= l.Eps
+}
+
+// Dist computes the LCSS dissimilarity from scratch in O(n·m) time.
+func (l LCSS) Dist(t, q traj.Trajectory) float64 {
+	n, m := t.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	row := make([]float64, m+1)
+	for i := 0; i < n; i++ {
+		l.extendRow(row, t.Pt(i), q)
+	}
+	return l.toDist(row[m], n, m)
+}
+
+func (l LCSS) toDist(lcss float64, n, m int) float64 {
+	den := n
+	if m < den {
+		den = m
+	}
+	return 1 - lcss/float64(den)
+}
+
+func (l LCSS) extendRow(row []float64, p geo.Point, q traj.Trajectory) {
+	m := q.Len()
+	prevDiag := row[0]
+	for j := 1; j <= m; j++ {
+		prevUp := row[j]
+		var v float64
+		if l.match(p, q.Pt(j-1)) {
+			v = prevDiag + 1
+		} else {
+			v = prevUp
+			if row[j-1] > v {
+				v = row[j-1]
+			}
+		}
+		row[j] = v
+		prevDiag = prevUp
+	}
+}
+
+type lcssInc struct {
+	meas  LCSS
+	t, q  traj.Trajectory
+	row   []float64
+	start int
+	end   int
+}
+
+// NewIncremental implements Measure.
+func (l LCSS) NewIncremental(t, q traj.Trajectory) Incremental {
+	return &lcssInc{meas: l, t: t, q: q}
+}
+
+func (c *lcssInc) Init(i int) float64 {
+	m := c.q.Len()
+	if m == 0 {
+		panic("sim: LCSS incremental with empty query")
+	}
+	c.start, c.end = i, i
+	c.row = make([]float64, m+1)
+	c.meas.extendRow(c.row, c.t.Pt(i), c.q)
+	return c.meas.toDist(c.row[m], 1, m)
+}
+
+func (c *lcssInc) Extend() float64 {
+	c.end++
+	c.meas.extendRow(c.row, c.t.Pt(c.end), c.q)
+	return c.meas.toDist(c.row[c.q.Len()], c.end-c.start+1, c.q.Len())
+}
+
+func (c *lcssInc) End() int { return c.end }

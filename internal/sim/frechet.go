@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+func init() { Register("frechet", func() Measure { return Frechet{} }) }
+
+// Frechet is the discrete Fréchet distance (Alt & Godau 1995), Equation 2 of
+// the paper:
+//
+//	F(i,j) = max(d(p_i,q_j), min(F(i-1,j-1), F(i-1,j), F(i,j-1)))
+//
+// with boundary rows/columns taking running maxima against the first point.
+// Complexities: Φ = O(n·m), Φinc = Φini = O(m).
+type Frechet struct{}
+
+// Name implements Measure.
+func (Frechet) Name() string { return "frechet" }
+
+// Dist computes the discrete Fréchet distance from scratch in O(n·m) time
+// and O(m) space.
+func (Frechet) Dist(t, q traj.Trajectory) float64 {
+	n, m := t.Len(), q.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	row := make([]float64, m)
+	acc := 0.0
+	for j := 0; j < m; j++ {
+		d := geo.Dist(t.Pt(0), q.Pt(j))
+		if d > acc {
+			acc = d
+		}
+		row[j] = acc
+	}
+	for i := 1; i < n; i++ {
+		frechetExtendRow(row, t.Pt(i), q)
+	}
+	return row[m-1]
+}
+
+// frechetExtendRow advances the DP by one data point in place.
+func frechetExtendRow(row []float64, p geo.Point, q traj.Trajectory) {
+	m := len(row)
+	prevDiag := row[0]
+	d0 := geo.Dist(p, q.Pt(0))
+	if d0 > prevDiag {
+		row[0] = d0
+	} else {
+		row[0] = prevDiag
+	}
+	for j := 1; j < m; j++ {
+		prevUp := row[j]
+		best := prevDiag
+		if prevUp < best {
+			best = prevUp
+		}
+		if row[j-1] < best {
+			best = row[j-1]
+		}
+		d := geo.Dist(p, q.Pt(j))
+		if d > best {
+			row[j] = d
+		} else {
+			row[j] = best
+		}
+		prevDiag = prevUp
+	}
+}
+
+type frechetInc struct {
+	t, q traj.Trajectory
+	row  []float64
+	end  int
+}
+
+// NewIncremental implements Measure.
+func (Frechet) NewIncremental(t, q traj.Trajectory) Incremental {
+	return &frechetInc{t: t, q: q, row: make([]float64, q.Len())}
+}
+
+func (c *frechetInc) Init(i int) float64 {
+	m := c.q.Len()
+	if m == 0 {
+		panic("sim: Frechet incremental with empty query")
+	}
+	c.end = i
+	acc := 0.0
+	for j := 0; j < m; j++ {
+		d := geo.Dist(c.t.Pt(i), c.q.Pt(j))
+		if d > acc {
+			acc = d
+		}
+		c.row[j] = acc
+	}
+	return c.row[m-1]
+}
+
+func (c *frechetInc) Extend() float64 {
+	c.end++
+	frechetExtendRow(c.row, c.t.Pt(c.end), c.q)
+	return c.row[len(c.row)-1]
+}
+
+func (c *frechetInc) End() int { return c.end }

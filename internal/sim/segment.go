@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+// This file implements segment-matching measures in the spirit of
+// EDS (Xie, SIGMOD 2014) and EDwP (Ranu et al., ICDE 2015), which the paper
+// reviews in §2 as measurements the abstract Θ can be instantiated with.
+//
+// Both are edit distances over the segment sequences of the trajectories
+// (a length-n trajectory has n-1 segments). The published EDwP additionally
+// interpolates projection points dynamically; we use element-local gap costs
+// instead so that the DP admits the O(m)-per-point incremental extension
+// every measure in this package provides. The exact costs are documented on
+// each type; DESIGN.md records this substitution.
+//
+// Trajectories with fewer than two points have no segments; both measures
+// fall back to DTW for those degenerate inputs (this arises for the
+// single-point Φini case of the Incremental contract).
+
+func init() {
+	Register("eds", func() Measure { return EDS{} })
+	Register("edwp", func() Measure { return EDwP{} })
+}
+
+// segment is a directed trajectory segment.
+type segment struct {
+	a, b geo.Point
+}
+
+func (s segment) length() float64 { return geo.Dist(s.a, s.b) }
+
+// segmentsOf returns the n-1 segments of t.
+func segmentsOf(t traj.Trajectory) []segment {
+	n := t.Len()
+	if n < 2 {
+		return nil
+	}
+	out := make([]segment, n-1)
+	for i := 0; i < n-1; i++ {
+		out[i] = segment{a: t.Pt(i), b: t.Pt(i + 1)}
+	}
+	return out
+}
+
+// segCosts abstracts the per-element costs of a segment edit distance.
+type segCosts interface {
+	rep(e, f segment) float64
+	gap(e segment) float64
+}
+
+// segDist runs the edit-distance DP over segment sequences with the given
+// costs, in O(|es|·|fs|) time and O(|fs|) space.
+func segDist(cs segCosts, es, fs []segment) float64 {
+	row := segBaseRow(cs, fs)
+	for _, e := range es {
+		segExtendRow(cs, row, e, fs)
+	}
+	return row[len(fs)]
+}
+
+// segBaseRow returns the DP row for an empty data prefix: inserting every
+// query segment.
+func segBaseRow(cs segCosts, fs []segment) []float64 {
+	row := make([]float64, len(fs)+1)
+	for j, f := range fs {
+		row[j+1] = row[j] + cs.gap(f)
+	}
+	return row
+}
+
+// segExtendRow advances the DP by one data segment in place.
+func segExtendRow(cs segCosts, row []float64, e segment, fs []segment) {
+	prevDiag := row[0]
+	row[0] += cs.gap(e)
+	for j, f := range fs {
+		prevUp := row[j+1]
+		best := prevDiag + cs.rep(e, f)
+		if v := prevUp + cs.gap(e); v < best {
+			best = v
+		}
+		if v := row[j] + cs.gap(f); v < best {
+			best = v
+		}
+		row[j+1] = best
+		prevDiag = prevUp
+	}
+}
+
+// EDS is a segment-based edit distance: replacing segment e with f costs the
+// mean endpoint displacement (d(e.a,f.a)+d(e.b,f.b))/2, inserting or
+// deleting a segment costs its length. Identical trajectories have
+// distance 0.
+type EDS struct{}
+
+// Name implements Measure.
+func (EDS) Name() string { return "eds" }
+
+func (EDS) rep(e, f segment) float64 {
+	return (geo.Dist(e.a, f.a) + geo.Dist(e.b, f.b)) / 2
+}
+
+func (EDS) gap(e segment) float64 { return e.length() }
+
+// Dist computes EDS from scratch in O(n·m) time.
+func (m EDS) Dist(t, q traj.Trajectory) float64 {
+	if t.Len() < 2 || q.Len() < 2 {
+		return DTW{}.Dist(t, q)
+	}
+	return segDist(m, segmentsOf(t), segmentsOf(q))
+}
+
+// NewIncremental implements Measure.
+func (m EDS) NewIncremental(t, q traj.Trajectory) Incremental {
+	return &segInc{cs: m, t: t, q: q, qsegs: segmentsOf(q)}
+}
+
+// EDwP is a segment-based edit distance with coverage-weighted replacement
+// in the spirit of Ranu et al.: replacing e with f costs
+// (d(e.a,f.a)+d(e.b,f.b))·(len(e)+len(f)), and a gap (insert/delete) of
+// segment e costs len(e)². Longer mismatched stretches therefore dominate,
+// matching EDwP's coverage intuition, while keeping costs element-local so
+// the incremental contract holds (see the package comment on the published
+// measure's dynamic interpolation).
+type EDwP struct{}
+
+// Name implements Measure.
+func (EDwP) Name() string { return "edwp" }
+
+func (EDwP) rep(e, f segment) float64 {
+	return (geo.Dist(e.a, f.a) + geo.Dist(e.b, f.b)) * (e.length() + f.length())
+}
+
+func (EDwP) gap(e segment) float64 {
+	l := e.length()
+	return l * l
+}
+
+// Dist computes EDwP from scratch in O(n·m) time.
+func (m EDwP) Dist(t, q traj.Trajectory) float64 {
+	if t.Len() < 2 || q.Len() < 2 {
+		return DTW{}.Dist(t, q)
+	}
+	return segDist(m, segmentsOf(t), segmentsOf(q))
+}
+
+// NewIncremental implements Measure.
+func (m EDwP) NewIncremental(t, q traj.Trajectory) Incremental {
+	return &segInc{cs: m, t: t, q: q, qsegs: segmentsOf(q)}
+}
+
+// segInc extends a segment edit distance one data point at a time. A
+// subtrajectory of k points has k-1 segments, so Init (single point) uses the
+// degenerate fallback and the first Extend builds the first segment row.
+type segInc struct {
+	cs    segCosts
+	t, q  traj.Trajectory
+	qsegs []segment
+	row   []float64
+	start int
+	end   int
+}
+
+func (c *segInc) Init(i int) float64 {
+	if c.q.Len() == 0 {
+		panic("sim: segment incremental with empty query")
+	}
+	c.start, c.end = i, i
+	c.row = nil
+	return DTW{}.Dist(c.t.Sub(i, i), c.q)
+}
+
+func (c *segInc) Extend() float64 {
+	c.end++
+	if c.q.Len() < 2 {
+		// query has no segments; fall back for every prefix
+		return DTW{}.Dist(c.t.Sub(c.start, c.end), c.q)
+	}
+	if c.row == nil {
+		c.row = segBaseRow(c.cs, c.qsegs)
+	}
+	seg := segment{a: c.t.Pt(c.end - 1), b: c.t.Pt(c.end)}
+	segExtendRow(c.cs, c.row, seg, c.qsegs)
+	return c.row[len(c.qsegs)]
+}
+
+func (c *segInc) End() int { return c.end }

@@ -1,0 +1,149 @@
+// Package sim implements trajectory similarity measurements behind an
+// abstract interface, mirroring §3.2 of the paper.
+//
+// All measures are expressed as *dissimilarities* (smaller is more similar).
+// The paper's similarity Θ is obtained with Sim (Θ = 1/(1+d)), a monotone
+// inversion, so maximizing Θ and minimizing d are interchangeable.
+//
+// Each measure provides, beyond a from-scratch distance (cost Φ), an
+// Incremental computer that evaluates d(T[i,i],Tq) from scratch (cost Φini)
+// and then d(T[i,j],Tq) from d(T[i,j-1],Tq) (cost Φinc). Table 1 of the
+// paper summarizes the costs:
+//
+//	measure   Φ        Φinc   Φini
+//	t2vec     O(n+m)   O(1)   O(1)
+//	DTW       O(n·m)   O(m)   O(m)
+//	Fréchet   O(n·m)   O(m)   O(m)
+//
+// Suffix similarities Θ(T[i,n]^R, Tq^R) are computed by running an
+// Incremental over the reversed trajectories; SuffixDists wraps that.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"simsub/internal/traj"
+)
+
+// Measure is an abstract trajectory dissimilarity measurement. Smaller
+// distances mean more similar trajectories. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type Measure interface {
+	// Name returns the canonical lower-case name, e.g. "dtw".
+	Name() string
+	// Dist computes the dissimilarity between t and q from scratch (cost Φ).
+	Dist(t, q traj.Trajectory) float64
+	// NewIncremental returns a computer for distances between subtrajectories
+	// of t that share a start point, and q. The computer is single-goroutine.
+	NewIncremental(t, q traj.Trajectory) Incremental
+}
+
+// Incremental computes d(T[i,j], Q) for a fixed start i and increasing end j.
+// Usage: Init(i) returns d(T[i,i],Q); each Extend advances j by one and
+// returns d(T[i,j],Q). Extending past the end of T is a programming error
+// and panics.
+type Incremental interface {
+	// Init begins a fresh scan at start index i (0-based) and returns
+	// d(T[i,i], Q). Cost Φini.
+	Init(i int) float64
+	// Extend advances the end index by one and returns the new distance.
+	// Cost Φinc.
+	Extend() float64
+	// End returns the current end index j (0-based).
+	End() int
+}
+
+// Sim converts a dissimilarity into the paper's similarity Θ = 1/(1+d).
+// It maps [0,∞) monotonically onto (0,1], with identical trajectories at 1.
+func Sim(d float64) float64 { return 1 / (1 + d) }
+
+// DistFromSim inverts Sim.
+func DistFromSim(s float64) float64 { return 1/s - 1 }
+
+// SuffixDists returns, for every start index i of t, the distance
+// d(T[i,n-1]^R, Q^R) between the reversed suffix and the reversed query,
+// computed incrementally in O(n·Φinc) total as in PSS (Algorithm 2, lines
+// 2-3). The result is indexed by i (0-based): out[i] = d(T[i,n-1]^R, Q^R).
+//
+// For reversal-invariant measures (DTW, Fréchet) this equals d(T[i,n-1], Q);
+// for others (e.g. t2vec) it is positively correlated, as the paper found
+// empirically.
+func SuffixDists(m Measure, t, q traj.Trajectory) []float64 {
+	n := t.Len()
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	tr, qr := t.Reverse(), q.Reverse()
+	inc := m.NewIncremental(tr, qr)
+	// reversed(T)[0..k] corresponds to suffix T[n-1-k .. n-1].
+	out[n-1] = inc.Init(0)
+	for k := 1; k < n; k++ {
+		out[n-1-k] = inc.Extend()
+	}
+	return out
+}
+
+// PrefixDists returns d(T[0,j], Q) for every end index j, computed
+// incrementally in O(Φini + n·Φinc) total.
+func PrefixDists(m Measure, t, q traj.Trajectory) []float64 {
+	n := t.Len()
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	inc := m.NewIncremental(t, q)
+	out[0] = inc.Init(0)
+	for j := 1; j < n; j++ {
+		out[j] = inc.Extend()
+	}
+	return out
+}
+
+// AllSubDists enumerates the distances of all n(n+1)/2 subtrajectories of t
+// to q using the incremental strategy of ExactS, in O(n·(Φini + n·Φinc)).
+// The callback receives (i, j, dist) for every 0 <= i <= j < n. It is the
+// building block for exact search and for the MR/RR effectiveness metrics.
+func AllSubDists(m Measure, t, q traj.Trajectory, fn func(i, j int, d float64)) {
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		inc := m.NewIncremental(t, q)
+		fn(i, i, inc.Init(i))
+		for j := i + 1; j < n; j++ {
+			fn(i, j, inc.Extend())
+		}
+	}
+}
+
+// registry of constructors for ByName. Parameterized measures register
+// reasonable defaults.
+var registry = map[string]func() Measure{}
+
+// Register installs a measure constructor under its canonical name.
+// It panics on duplicates; registration happens at init time.
+func Register(name string, fn func() Measure) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate measure %q", name))
+	}
+	registry[name] = fn
+}
+
+// ByName constructs a measure by canonical name. Names returns valid names.
+func ByName(name string) (Measure, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown measure %q (have %v)", name, Names())
+	}
+	return fn(), nil
+}
+
+// Names lists registered measure names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+// Stream computes the distance between a growing point sequence and a fixed
+// query, one pushed point at a time. It generalizes Incremental to point
+// sequences that are not contiguous ranges of a stored trajectory — the
+// state-simplification of RLS-Skip (§5.4) maintains the prefix similarity
+// over only the non-skipped points, which is exactly a Stream.
+//
+// The first Push starts the sequence (cost Φini); each later Push costs
+// Φinc for measures with native streaming support.
+type Stream interface {
+	// Push appends p to the sequence and returns the distance between the
+	// sequence so far and the query.
+	Push(p geo.Point) float64
+	// Len returns the number of points pushed.
+	Len() int
+	// Reset empties the sequence so the stream can be reused.
+	Reset()
+}
+
+// StreamMeasure is implemented by measures with native O(Φinc) streaming.
+type StreamMeasure interface {
+	Measure
+	// NewStream returns a fresh stream against q.
+	NewStream(q traj.Trajectory) Stream
+}
+
+// NewStream returns a streaming computer for m against q: the measure's
+// native stream when it implements StreamMeasure, otherwise a buffering
+// fallback that recomputes from scratch on every Push (cost Φ per Push).
+func NewStream(m Measure, q traj.Trajectory) Stream {
+	if sm, ok := m.(StreamMeasure); ok {
+		return sm.NewStream(q)
+	}
+	return &bufferStream{m: m, q: q}
+}
+
+// bufferStream is the generic fallback: it accumulates points and calls
+// Dist from scratch.
+type bufferStream struct {
+	m   Measure
+	q   traj.Trajectory
+	pts []geo.Point
+}
+
+func (s *bufferStream) Push(p geo.Point) float64 {
+	s.pts = append(s.pts, p)
+	return s.m.Dist(traj.Trajectory{Points: s.pts}, s.q)
+}
+
+func (s *bufferStream) Len() int { return len(s.pts) }
+
+func (s *bufferStream) Reset() { s.pts = s.pts[:0] }
+
+// dtwStream reuses the DTW row extension.
+type dtwStream struct {
+	q   traj.Trajectory
+	row []float64
+	n   int
+}
+
+// NewStream implements StreamMeasure.
+func (DTW) NewStream(q traj.Trajectory) Stream {
+	return &dtwStream{q: q, row: make([]float64, q.Len())}
+}
+
+func (s *dtwStream) Push(p geo.Point) float64 {
+	m := s.q.Len()
+	if s.n == 0 {
+		acc := 0.0
+		for j := 0; j < m; j++ {
+			acc += geo.Dist(p, s.q.Pt(j))
+			s.row[j] = acc
+		}
+	} else {
+		dtwExtendRow(s.row, p, s.q)
+	}
+	s.n++
+	return s.row[m-1]
+}
+
+func (s *dtwStream) Len() int { return s.n }
+
+func (s *dtwStream) Reset() { s.n = 0 }
+
+// frechetStream reuses the Fréchet row extension.
+type frechetStream struct {
+	q   traj.Trajectory
+	row []float64
+	n   int
+}
+
+// NewStream implements StreamMeasure.
+func (Frechet) NewStream(q traj.Trajectory) Stream {
+	return &frechetStream{q: q, row: make([]float64, q.Len())}
+}
+
+func (s *frechetStream) Push(p geo.Point) float64 {
+	m := s.q.Len()
+	if s.n == 0 {
+		acc := 0.0
+		for j := 0; j < m; j++ {
+			d := geo.Dist(p, s.q.Pt(j))
+			if d > acc {
+				acc = d
+			}
+			s.row[j] = acc
+		}
+	} else {
+		frechetExtendRow(s.row, p, s.q)
+	}
+	s.n++
+	return s.row[m-1]
+}
+
+func (s *frechetStream) Len() int { return s.n }
+
+func (s *frechetStream) Reset() { s.n = 0 }
+
+// erpStream reuses the ERP row extension.
+type erpStream struct {
+	meas ERP
+	q    traj.Trajectory
+	row  []float64
+	n    int
+}
+
+// NewStream implements StreamMeasure.
+func (e ERP) NewStream(q traj.Trajectory) Stream {
+	return &erpStream{meas: e, q: q}
+}
+
+func (s *erpStream) Push(p geo.Point) float64 {
+	if s.n == 0 {
+		s.row = s.meas.baseRow(s.q)
+	}
+	s.meas.extendRow(s.row, p, s.q)
+	s.n++
+	return s.row[s.q.Len()]
+}
+
+func (s *erpStream) Len() int { return s.n }
+
+func (s *erpStream) Reset() { s.n = 0 }
+
+// edrStream reuses the EDR row extension.
+type edrStream struct {
+	meas EDR
+	q    traj.Trajectory
+	row  []float64
+	n    int
+}
+
+// NewStream implements StreamMeasure.
+func (e EDR) NewStream(q traj.Trajectory) Stream {
+	return &edrStream{meas: e, q: q}
+}
+
+func (s *edrStream) Push(p geo.Point) float64 {
+	m := s.q.Len()
+	if s.n == 0 {
+		s.row = make([]float64, m+1)
+		for j := 0; j <= m; j++ {
+			s.row[j] = float64(j)
+		}
+	}
+	s.meas.extendRow(s.row, p, s.q)
+	s.n++
+	return s.row[m]
+}
+
+func (s *edrStream) Len() int { return s.n }
+
+func (s *edrStream) Reset() { s.n = 0 }
+
+// lcssStream reuses the LCSS row extension.
+type lcssStream struct {
+	meas LCSS
+	q    traj.Trajectory
+	row  []float64
+	n    int
+}
+
+// NewStream implements StreamMeasure.
+func (l LCSS) NewStream(q traj.Trajectory) Stream {
+	return &lcssStream{meas: l, q: q}
+}
+
+func (s *lcssStream) Push(p geo.Point) float64 {
+	m := s.q.Len()
+	if s.n == 0 {
+		s.row = make([]float64, m+1)
+	}
+	s.meas.extendRow(s.row, p, s.q)
+	s.n++
+	return s.meas.toDist(s.row[m], s.n, m)
+}
+
+func (s *lcssStream) Len() int { return s.n }
+
+func (s *lcssStream) Reset() {
+	s.n = 0
+	for i := range s.row {
+		s.row[i] = 0
+	}
+}

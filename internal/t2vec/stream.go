@@ -1,0 +1,50 @@
+package t2vec
+
+import (
+	"math"
+
+	"simsub/internal/geo"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// stream carries the encoder hidden state of the pushed point sequence;
+// each Push is a single GRU step (Φinc = O(1)).
+type stream struct {
+	m    *Model
+	qEmb []float64
+	h    []float64
+	x    []float64
+	n    int
+}
+
+// NewStream implements sim.StreamMeasure.
+func (m *Model) NewStream(q traj.Trajectory) sim.Stream {
+	return &stream{
+		m:    m,
+		qEmb: m.queryEmbedding(q),
+		h:    make([]float64, m.enc.HiddenDim),
+		x:    make([]float64, m.enc.InDim),
+	}
+}
+
+func (s *stream) Push(p geo.Point) float64 {
+	if s.n == 0 {
+		for i := range s.h {
+			s.h[i] = 0
+		}
+	}
+	s.m.feature(p, s.x)
+	s.m.enc.StepInfer(s.h, s.x, s.h)
+	s.n++
+	var d float64
+	for i := range s.h {
+		v := s.h[i] - s.qEmb[i]
+		d += v * v
+	}
+	return math.Sqrt(d)
+}
+
+func (s *stream) Len() int { return s.n }
+
+func (s *stream) Reset() { s.n = 0 }

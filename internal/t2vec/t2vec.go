@@ -1,0 +1,304 @@
+// Package t2vec provides a data-driven trajectory similarity measure in the
+// spirit of t2vec (Li et al., ICDE 2018), which the paper uses as one of its
+// three instantiations of the abstract measurement Θ.
+//
+// The published t2vec is a GPU-trained RNN seq2seq model over discretized
+// cell tokens. This reproduction (see DESIGN.md, substitutions) keeps the
+// properties the SimSub algorithms actually rely on:
+//
+//   - a deterministic vector embedding of a trajectory computed by a
+//     recurrent encoder in O(n) time (Φ = O(n+m));
+//   - O(1) incremental extension: the embedding of T[i,j] follows from the
+//     encoder hidden state of T[i,j-1] by a single GRU step (Φinc = O(1));
+//   - O(1) distance between two embeddings (Euclidean).
+//
+// The encoder is a GRU over normalized point coordinates, trained as a
+// sequence-to-sequence autoencoder (encoder → decoder reconstructing the
+// input trajectory) with Adam, mirroring the encoder-decoder framework of
+// the original.
+package t2vec
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+
+	"simsub/internal/geo"
+	"simsub/internal/nn"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// DefaultHidden is the default embedding dimensionality.
+const DefaultHidden = 16
+
+func init() {
+	// Register a deterministic default model so sim.ByName("t2vec") works for
+	// CLI tools and quick experiments. Real experiments train a model with
+	// Train and construct the measure explicitly.
+	sim.Register("t2vec", func() sim.Measure {
+		return NewRandomModel(DefaultHidden, 1)
+	})
+}
+
+// Model is a trained t2vec-style trajectory encoder. It implements
+// sim.Measure: the dissimilarity between two trajectories is the Euclidean
+// distance between their embeddings. A Model is safe for concurrent use.
+type Model struct {
+	enc *nn.GRU
+	// bounds maps raw coordinates into the unit square before encoding.
+	bounds geo.Rect
+	// grid > 0 switches to cell-token inputs (the published t2vec's
+	// pipeline): points are discretized into a grid×grid lattice and the
+	// GRU consumes a learned per-cell embedding instead of coordinates.
+	grid int
+	// emb is the grid²×InDim token-embedding table when grid > 0.
+	emb *nn.Tensor
+
+	// single-entry query-embedding cache. The SimSub algorithms compute
+	// distances of many subtrajectories against one query trajectory; the
+	// paper amortizes the O(m) query encoding across those computations
+	// (§3.2). The cache keys on the query's underlying point storage.
+	mu     sync.Mutex
+	cacheQ []geo.Point
+	cacheV []float64
+}
+
+// New wraps a trained encoder with the normalization bounds it was trained
+// under.
+func New(enc *nn.GRU, bounds geo.Rect) *Model {
+	return &Model{enc: enc, bounds: bounds}
+}
+
+// NewRandomModel builds an untrained (randomly initialized, deterministic
+// for a given seed) model. Untrained encoders still define a valid
+// measure — random GRU projections preserve coarse locality — and are useful
+// for tests and as a fallback when no trained model is available.
+func NewRandomModel(hidden int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	return &Model{
+		enc:    nn.NewGRU(2, hidden, rng),
+		bounds: geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+	}
+}
+
+// Name implements sim.Measure.
+func (m *Model) Name() string { return "t2vec" }
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.enc.HiddenDim }
+
+// Encoder exposes the underlying GRU (for serialization and training).
+func (m *Model) Encoder() *nn.GRU { return m.enc }
+
+// Bounds returns the normalization rectangle.
+func (m *Model) Bounds() geo.Rect { return m.bounds }
+
+// norm maps p into the unit square under the model bounds.
+func (m *Model) norm(p geo.Point) (nx, ny float64) {
+	w := m.bounds.MaxX - m.bounds.MinX
+	h := m.bounds.MaxY - m.bounds.MinY
+	nx, ny = 0.5, 0.5
+	if w > 0 {
+		nx = (p.X - m.bounds.MinX) / w
+	}
+	if h > 0 {
+		ny = (p.Y - m.bounds.MinY) / h
+	}
+	return nx, ny
+}
+
+// Token returns the grid-cell token of p; -1 for coordinate-input models.
+func (m *Model) Token(p geo.Point) int {
+	if m.grid <= 0 {
+		return -1
+	}
+	nx, ny := m.norm(p)
+	cx := clampCell(int(nx*float64(m.grid)), m.grid)
+	cy := clampCell(int(ny*float64(m.grid)), m.grid)
+	return cy*m.grid + cx
+}
+
+func clampCell(c, cells int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= cells {
+		return cells - 1
+	}
+	return c
+}
+
+// feature writes the GRU input features of p into dst (length enc.InDim):
+// normalized coordinates, or the cell-token embedding for token models.
+func (m *Model) feature(p geo.Point, dst []float64) {
+	if m.grid > 0 {
+		tok := m.Token(p)
+		copy(dst, m.emb.W[tok*m.emb.Cols:(tok+1)*m.emb.Cols])
+		return
+	}
+	dst[0], dst[1] = m.norm(p)
+}
+
+// Embed returns the embedding of t: the encoder hidden state after
+// consuming all points. Cost O(n).
+func (m *Model) Embed(t traj.Trajectory) []float64 {
+	h := make([]float64, m.enc.HiddenDim)
+	x := make([]float64, m.enc.InDim)
+	for _, p := range t.Points {
+		m.feature(p, x)
+		m.enc.StepInfer(h, x, h)
+	}
+	return h
+}
+
+// queryEmbedding returns the (cached) embedding of q.
+func (m *Model) queryEmbedding(q traj.Trajectory) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(q.Points) > 0 && len(m.cacheQ) == len(q.Points) && &m.cacheQ[0] == &q.Points[0] {
+		return m.cacheV
+	}
+	v := m.Embed(q)
+	m.cacheQ = q.Points
+	m.cacheV = v
+	return v
+}
+
+// Dist implements sim.Measure: Euclidean distance between embeddings.
+func (m *Model) Dist(t, q traj.Trajectory) float64 {
+	if t.Len() == 0 || q.Len() == 0 {
+		return math.Inf(1)
+	}
+	return euclid(m.Embed(t), m.queryEmbedding(q))
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// inc is the O(1)-per-extension incremental computer: it carries the
+// encoder hidden state of the current subtrajectory.
+type inc struct {
+	m    *Model
+	t    traj.Trajectory
+	qEmb []float64
+	h    []float64
+	x    []float64
+	end  int
+}
+
+// NewIncremental implements sim.Measure. The query embedding is computed
+// once (amortized per the paper's Φ analysis); Init costs one GRU step
+// (Φini = O(1)) and each Extend one GRU step (Φinc = O(1)).
+func (m *Model) NewIncremental(t, q traj.Trajectory) sim.Incremental {
+	return &inc{
+		m:    m,
+		t:    t,
+		qEmb: m.queryEmbedding(q),
+		h:    make([]float64, m.enc.HiddenDim),
+		x:    make([]float64, m.enc.InDim),
+	}
+}
+
+func (c *inc) Init(i int) float64 {
+	for j := range c.h {
+		c.h[j] = 0
+	}
+	c.end = i
+	c.m.feature(c.t.Pt(i), c.x)
+	c.m.enc.StepInfer(c.h, c.x, c.h)
+	return euclid(c.h, c.qEmb)
+}
+
+func (c *inc) Extend() float64 {
+	c.end++
+	c.m.feature(c.t.Pt(c.end), c.x)
+	c.m.enc.StepInfer(c.h, c.x, c.h)
+	return euclid(c.h, c.qEmb)
+}
+
+func (c *inc) End() int { return c.end }
+
+// Save serializes the model (encoder weights, bounds and, for token
+// models, the grid size and embedding table).
+func (m *Model) Save(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "t2vec %d %g %g %g %g\n",
+		m.grid, m.bounds.MinX, m.bounds.MinY, m.bounds.MaxX, m.bounds.MaxY); err != nil {
+		return err
+	}
+	if m.grid > 0 {
+		if _, err := fmt.Fprintf(w, "%d %d\n", m.emb.Rows, m.emb.Cols); err != nil {
+			return err
+		}
+		for _, v := range m.emb.W {
+			if _, err := fmt.Fprintf(w, "%g\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	return nn.SaveGRU(w, m.enc)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var b geo.Rect
+	var tag string
+	var grid int
+	if _, err := fmt.Fscanf(r, "%s %d %g %g %g %g\n", &tag, &grid, &b.MinX, &b.MinY, &b.MaxX, &b.MaxY); err != nil {
+		return nil, fmt.Errorf("t2vec: reading header: %w", err)
+	}
+	if tag != "t2vec" {
+		return nil, fmt.Errorf("t2vec: bad header tag %q", tag)
+	}
+	var emb *nn.Tensor
+	if grid > 0 {
+		var rows, cols int
+		if _, err := fmt.Fscanf(r, "%d %d\n", &rows, &cols); err != nil {
+			return nil, fmt.Errorf("t2vec: reading embedding shape: %w", err)
+		}
+		emb = nn.NewTensor(rows, cols)
+		for i := range emb.W {
+			if _, err := fmt.Fscanf(r, "%g\n", &emb.W[i]); err != nil {
+				return nil, fmt.Errorf("t2vec: reading embedding: %w", err)
+			}
+		}
+	}
+	enc, err := nn.LoadGRU(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{enc: enc, bounds: b, grid: grid, emb: emb}, nil
+}
+
+// SaveFile writes the model to the named file.
+func (m *Model) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return m.Save(f)
+}
+
+// LoadFile reads a model from the named file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,197 @@
+package t2vec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simsub/internal/geo"
+	"simsub/internal/nn"
+	"simsub/internal/traj"
+)
+
+// TrainConfig controls seq2seq autoencoder training.
+type TrainConfig struct {
+	// Hidden is the embedding dimensionality (default DefaultHidden).
+	Hidden int
+	// LR is the Adam learning rate (default 0.001, as in the paper's setup).
+	LR float64
+	// Epochs is the number of passes over the training trajectories
+	// (default 5).
+	Epochs int
+	// MaxLen truncates training trajectories for bounded BPTT (default 64).
+	MaxLen int
+	// TokenGrid, when > 0, discretizes points into a TokenGrid×TokenGrid
+	// lattice and feeds learned per-cell embeddings to the GRU — the
+	// published t2vec's token pipeline. 0 feeds normalized coordinates.
+	TokenGrid int
+	// EmbedDim is the token-embedding width when TokenGrid > 0 (default 8).
+	EmbedDim int
+	// Seed seeds all randomness (default 1).
+	Seed int64
+	// Verbose, when non-nil, receives one progress line per epoch.
+	Verbose func(format string, args ...any)
+}
+
+func (c *TrainConfig) fill() {
+	if c.Hidden == 0 {
+		c.Hidden = DefaultHidden
+	}
+	if c.LR == 0 {
+		c.LR = 0.001
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 64
+	}
+	if c.EmbedDim == 0 {
+		c.EmbedDim = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// TrainStats reports training progress.
+type TrainStats struct {
+	// EpochLoss is the mean reconstruction MSE per epoch.
+	EpochLoss []float64
+	// Trajectories is the number of training trajectories used.
+	Trajectories int
+}
+
+// Train fits a t2vec-style model on the given trajectories: a GRU encoder
+// embeds each trajectory, and a GRU decoder with a linear output layer
+// reconstructs the normalized point sequence from the embedding (teacher
+// forcing). The reconstruction loss trains both networks (and, for token
+// models, the cell-embedding table); only the encoder side is kept in the
+// returned Model.
+func Train(trajs []traj.Trajectory, cfg TrainConfig) (*Model, TrainStats, error) {
+	cfg.fill()
+	if len(trajs) == 0 {
+		return nil, TrainStats{}, fmt.Errorf("t2vec: no training trajectories")
+	}
+	bounds := geo.EmptyRect()
+	for _, t := range trajs {
+		bounds = bounds.Union(t.MBR())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inDim := 2
+	var emb *nn.Tensor
+	if cfg.TokenGrid > 0 {
+		inDim = cfg.EmbedDim
+		emb = nn.NewTensor(cfg.TokenGrid*cfg.TokenGrid, cfg.EmbedDim)
+		emb.InitXavier(rng)
+	}
+	enc := nn.NewGRU(inDim, cfg.Hidden, rng)
+	dec := nn.NewGRU(inDim, cfg.Hidden, rng)
+	out := nn.NewDense(cfg.Hidden, 2, nn.Linear, rng)
+
+	model := &Model{enc: enc, bounds: bounds, grid: cfg.TokenGrid, emb: emb}
+	params := append(append(nn.Params{}, enc.Params()...), dec.Params()...)
+	params = append(params, out.Params()...)
+	if emb != nil {
+		params = append(params, emb)
+	}
+	opt := nn.NewAdam(params, cfg.LR)
+	opt.Clip = 5
+
+	stats := TrainStats{Trajectories: len(trajs)}
+	order := rng.Perm(len(trajs))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		var count int
+		for _, idx := range order {
+			t := trajs[idx]
+			if t.Len() < 2 {
+				continue
+			}
+			n := t.Len()
+			if n > cfg.MaxLen {
+				n = cfg.MaxLen
+			}
+			// inputs to the GRUs and coordinate targets for the decoder
+			feats := make([][]float64, n)
+			targets := make([][]float64, n)
+			tokens := make([]int, n)
+			for i := 0; i < n; i++ {
+				f := make([]float64, inDim)
+				model.feature(t.Pt(i), f)
+				feats[i] = f
+				nx, ny := model.norm(t.Pt(i))
+				targets[i] = []float64{nx, ny}
+				tokens[i] = model.Token(t.Pt(i))
+			}
+			// encode
+			encRun := enc.NewRun(nil)
+			for _, f := range feats {
+				encRun.Step(f)
+			}
+			// decode with teacher forcing: input at step k is the true
+			// input k-1 (a zero start token at k=0); target is the
+			// normalized coordinates of point k.
+			decRun := dec.NewRun(encRun.H())
+			dH := make([][]float64, n)
+			loss := 0.0
+			start := make([]float64, inDim)
+			for k := 0; k < n; k++ {
+				in := start
+				if k > 0 {
+					in = feats[k-1]
+				}
+				h := decRun.Step(in)
+				pred := out.Forward(h)
+				l, dOut := nn.MSELoss(pred, targets[k])
+				loss += l
+				dH[k] = out.Backward(dOut)
+			}
+			var decDX [][]float64
+			if emb != nil {
+				decDX = make([][]float64, n)
+			}
+			dh0 := decRun.Backward(dH, decDX)
+			// gradient reaches the encoder only through the final hidden state
+			dHenc := make([][]float64, encRun.Steps())
+			dHenc[encRun.Steps()-1] = dh0
+			var encDX [][]float64
+			if emb != nil {
+				encDX = make([][]float64, encRun.Steps())
+			}
+			encRun.Backward(dHenc, encDX)
+			if emb != nil {
+				// route input gradients into the embedding rows: encoder
+				// step k consumed token k; decoder step k consumed token
+				// k-1 (step 0 consumed the zero start vector)
+				for k := 0; k < n; k++ {
+					accumEmbGrad(emb, tokens[k], encDX[k])
+					if k+1 < n {
+						accumEmbGrad(emb, tokens[k], decDX[k+1])
+					}
+				}
+			}
+			opt.Step()
+			epochLoss += loss / float64(n)
+			count++
+		}
+		if count > 0 {
+			epochLoss /= float64(count)
+		}
+		stats.EpochLoss = append(stats.EpochLoss, epochLoss)
+		if cfg.Verbose != nil {
+			cfg.Verbose("t2vec epoch %d/%d: reconstruction loss %.6f", epoch+1, cfg.Epochs, epochLoss)
+		}
+	}
+	return model, stats, nil
+}
+
+// accumEmbGrad adds an input gradient into the embedding row of a token.
+func accumEmbGrad(emb *nn.Tensor, token int, dx []float64) {
+	if dx == nil {
+		return
+	}
+	g := emb.G[token*emb.Cols : (token+1)*emb.Cols]
+	for i, v := range dx {
+		g[i] += v
+	}
+}

@@ -1,0 +1,146 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"simsub/internal/geo"
+)
+
+// WriteCSV writes trajectories in the flat CSV format
+// "id,seq,x,y,t" with one row per point, preceded by a header row.
+func WriteCSV(w io.Writer, ts []Trajectory) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "seq", "x", "y", "t"}); err != nil {
+		return err
+	}
+	row := make([]string, 5)
+	for _, t := range ts {
+		for i, p := range t.Points {
+			row[0] = strconv.Itoa(t.ID)
+			row[1] = strconv.Itoa(i)
+			row[2] = strconv.FormatFloat(p.X, 'g', -1, 64)
+			row[3] = strconv.FormatFloat(p.Y, 'g', -1, 64)
+			row[4] = strconv.FormatFloat(p.T, 'g', -1, 64)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads trajectories from the format produced by WriteCSV. Points
+// must be grouped by trajectory id and ordered by seq within each group.
+func ReadCSV(r io.Reader) ([]Trajectory, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("traj: reading CSV header: %w", err)
+	}
+	if len(header) != 5 {
+		return nil, fmt.Errorf("traj: expected 5 CSV columns, got %d", len(header))
+	}
+	var out []Trajectory
+	cur := -1
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traj: reading CSV: %w", err)
+		}
+		line++
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("traj: line %d: bad id %q", line, rec[0])
+		}
+		x, err1 := strconv.ParseFloat(rec[2], 64)
+		y, err2 := strconv.ParseFloat(rec[3], 64)
+		tm, err3 := strconv.ParseFloat(rec[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("traj: line %d: bad coordinates", line)
+		}
+		if id != cur {
+			out = append(out, Trajectory{ID: id})
+			cur = id
+		}
+		last := &out[len(out)-1]
+		last.Points = append(last.Points, geo.Point{X: x, Y: y, T: tm})
+	}
+	return out, nil
+}
+
+// SaveCSV writes trajectories to the named file in CSV format.
+func SaveCSV(path string, ts []Trajectory) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err := WriteCSV(bw, ts); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCSV reads trajectories from the named CSV file.
+func LoadCSV(path string) ([]Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(bufio.NewReader(f))
+}
+
+// jsonTraj is the JSON wire form of a trajectory: a compact array-of-arrays.
+type jsonTraj struct {
+	ID     int          `json:"id"`
+	Points [][3]float64 `json:"points"`
+}
+
+// WriteJSON writes trajectories as a JSON array of {id, points:[[x,y,t]..]}.
+func WriteJSON(w io.Writer, ts []Trajectory) error {
+	js := make([]jsonTraj, len(ts))
+	for i, t := range ts {
+		js[i].ID = t.ID
+		js[i].Points = make([][3]float64, len(t.Points))
+		for j, p := range t.Points {
+			js[i].Points[j] = [3]float64{p.X, p.Y, p.T}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(js)
+}
+
+// ReadJSON reads trajectories from the format produced by WriteJSON.
+func ReadJSON(r io.Reader) ([]Trajectory, error) {
+	var js []jsonTraj
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("traj: decoding JSON: %w", err)
+	}
+	out := make([]Trajectory, len(js))
+	for i, jt := range js {
+		out[i].ID = jt.ID
+		out[i].Points = make([]geo.Point, len(jt.Points))
+		for j, p := range jt.Points {
+			out[i].Points[j] = geo.Point{X: p[0], Y: p[1], T: p[2]}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package traj
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simsub/internal/geo"
+)
+
+func randomTrajs(seed int64, count int) []Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Trajectory, count)
+	for i := range out {
+		n := rng.Intn(20) + 1
+		pts := make([]geo.Point, n)
+		for j := range pts {
+			pts[j] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100, T: float64(j) * 15}
+		}
+		out[i] = Trajectory{ID: i, Points: pts}
+	}
+	return out
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ts := randomTrajs(1, 10)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ts); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("round trip count = %d, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i].ID != ts[i].ID || !got[i].Equal(ts[i]) {
+			t.Errorf("trajectory %d mismatched after round trip", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ts := randomTrajs(2, 7)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ts); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("round trip count = %d, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if !got[i].Equal(ts[i]) {
+			t.Errorf("trajectory %d mismatched after JSON round trip", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trajs.csv")
+	ts := randomTrajs(3, 5)
+	if err := SaveCSV(path, ts); err != nil {
+		t.Fatalf("SaveCSV: %v", err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("count = %d, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if !got[i].Equal(ts[i]) {
+			t.Errorf("trajectory %d mismatched after file round trip", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty input", ""},
+		{"wrong column count", "a,b\n"},
+		{"bad id", "id,seq,x,y,t\nxx,0,1,2,3\n"},
+		{"bad coordinate", "id,seq,x,y,t\n1,0,abc,2,3\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+				t.Errorf("expected error for %q", c.name)
+			}
+		})
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("expected error for malformed JSON")
+	}
+}
+
+func TestLoadCSVMissingFile(t *testing.T) {
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

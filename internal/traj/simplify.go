@@ -1,0 +1,77 @@
+package traj
+
+import (
+	"simsub/internal/geo"
+)
+
+// Simplify returns the Douglas-Peucker simplification of t with tolerance
+// eps: the subset of points (always keeping the endpoints) such that every
+// dropped point lies within eps of the simplified polyline. The paper's
+// RLS-Skip motivates its skipped-point prefix as "a simplification" of the
+// full subtrajectory (§5.4, citing direction-preserving trajectory
+// simplification); this utility provides the classical position-preserving
+// counterpart for preprocessing large databases.
+func (t Trajectory) Simplify(eps float64) Trajectory {
+	n := len(t.Points)
+	if n <= 2 || eps <= 0 {
+		return t.Clone()
+	}
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+	douglasPeucker(t.Points, 0, n-1, eps, keep)
+	pts := make([]geo.Point, 0, n)
+	for i, k := range keep {
+		if k {
+			pts = append(pts, t.Points[i])
+		}
+	}
+	return Trajectory{ID: t.ID, Points: pts}
+}
+
+// douglasPeucker marks the points to keep between endpoints lo and hi
+// (exclusive), recursing on the farthest outlier.
+func douglasPeucker(pts []geo.Point, lo, hi int, eps float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	maxD, maxI := 0.0, -1
+	for i := lo + 1; i < hi; i++ {
+		d := geo.PointSegDist(pts[i], pts[lo], pts[hi])
+		if d > maxD {
+			maxD, maxI = d, i
+		}
+	}
+	if maxD <= eps {
+		return // all interior points within tolerance of the chord
+	}
+	keep[maxI] = true
+	douglasPeucker(pts, lo, maxI, eps, keep)
+	douglasPeucker(pts, maxI, hi, eps, keep)
+}
+
+// SimplifyRatio simplifies with increasing tolerance until at most
+// ratio·|T| points remain (ratio in (0,1]); it returns the first
+// simplification meeting the budget. Useful for bounding preprocessing
+// cost on dense data (e.g. 10 Hz sports traces).
+func (t Trajectory) SimplifyRatio(ratio float64) Trajectory {
+	n := len(t.Points)
+	if n <= 2 || ratio >= 1 {
+		return t.Clone()
+	}
+	target := int(float64(n) * ratio)
+	if target < 2 {
+		target = 2
+	}
+	// exponential search on the tolerance, seeded by the MBR diagonal
+	mbr := t.MBR()
+	eps := (mbr.MaxX - mbr.MinX + mbr.MaxY - mbr.MinY) / 1000
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	out := t.Simplify(eps)
+	for i := 0; i < 40 && out.Len() > target; i++ {
+		eps *= 2
+		out = t.Simplify(eps)
+	}
+	return out
+}

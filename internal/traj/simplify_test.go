@@ -1,0 +1,97 @@
+package traj
+
+import (
+	"math/rand"
+	"testing"
+
+	"simsub/internal/geo"
+)
+
+func TestSimplifyStraightLineCollapses(t *testing.T) {
+	tr := FromXY(0, 0, 1, 0, 2, 0, 3, 0, 4, 0)
+	s := tr.Simplify(0.01)
+	if s.Len() != 2 {
+		t.Fatalf("straight line simplified to %d points, want 2", s.Len())
+	}
+	if s.Pt(0) != tr.Pt(0) || s.Pt(1) != tr.Pt(4) {
+		t.Error("endpoints not preserved")
+	}
+}
+
+func TestSimplifyKeepsSignificantCorner(t *testing.T) {
+	tr := FromXY(0, 0, 1, 0, 2, 0, 2, 1, 2, 2)
+	s := tr.Simplify(0.1)
+	if s.Len() != 3 {
+		t.Fatalf("corner trajectory simplified to %d points, want 3", s.Len())
+	}
+	if s.Pt(1) != (geo.Point{X: 2, Y: 0, T: 2}) {
+		t.Errorf("corner point lost: %v", s.Points)
+	}
+}
+
+func TestSimplifyErrorBound(t *testing.T) {
+	// every original point must be within eps of the simplified polyline
+	rng := rand.New(rand.NewSource(1))
+	const eps = 0.05
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(40) + 3
+		pts := make([]geo.Point, n)
+		x, y := 0.0, 0.0
+		for i := range pts {
+			x += rng.Float64() * 0.1
+			y += rng.NormFloat64() * 0.05
+			pts[i] = geo.Point{X: x, Y: y, T: float64(i)}
+		}
+		tr := New(pts...)
+		s := tr.Simplify(eps)
+		for _, p := range tr.Points {
+			best := 1e18
+			for i := 1; i < s.Len(); i++ {
+				if d := geo.PointSegDist(p, s.Pt(i-1), s.Pt(i)); d < best {
+					best = d
+				}
+			}
+			if best > eps+1e-9 {
+				t.Fatalf("trial %d: point %v is %v from simplification, eps %v", trial, p, best, eps)
+			}
+		}
+	}
+}
+
+func TestSimplifyEdgeCases(t *testing.T) {
+	if s := New().Simplify(1); s.Len() != 0 {
+		t.Error("empty trajectory")
+	}
+	two := FromXY(0, 0, 1, 1)
+	if s := two.Simplify(1); s.Len() != 2 {
+		t.Error("two points must survive")
+	}
+	// eps <= 0 returns a copy
+	tr := FromXY(0, 0, 1, 1, 2, 0)
+	if s := tr.Simplify(0); !s.Equal(tr) {
+		t.Error("eps=0 should be identity")
+	}
+}
+
+func TestSimplifyRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geo.Point, 200)
+	x, y := 0.0, 0.0
+	for i := range pts {
+		x += rng.Float64() * 0.01
+		y += rng.NormFloat64() * 0.002
+		pts[i] = geo.Point{X: x, Y: y, T: float64(i)}
+	}
+	tr := New(pts...)
+	s := tr.SimplifyRatio(0.25)
+	if s.Len() > 50 {
+		t.Errorf("ratio 0.25 left %d of 200 points", s.Len())
+	}
+	if s.Len() < 2 {
+		t.Error("simplification too aggressive")
+	}
+	// ratio >= 1 is identity
+	if tr.SimplifyRatio(1).Len() != 200 {
+		t.Error("ratio 1 should not drop points")
+	}
+}

@@ -1,0 +1,258 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simsub/internal/geo"
+)
+
+func TestFromXYAndLen(t *testing.T) {
+	tr := FromXY(0, 0, 1, 1, 2, 0)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Pt(1) != (geo.Point{X: 1, Y: 1, T: 1}) {
+		t.Errorf("Pt(1) = %v", tr.Pt(1))
+	}
+}
+
+func TestFromXYPanicsOnOdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on odd coordinate count")
+		}
+	}()
+	FromXY(1, 2, 3)
+}
+
+func TestSub(t *testing.T) {
+	tr := FromXY(0, 0, 1, 0, 2, 0, 3, 0, 4, 0)
+	s := tr.Sub(1, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Sub len = %d, want 3", s.Len())
+	}
+	if s.Pt(0).X != 1 || s.Pt(2).X != 3 {
+		t.Errorf("Sub points wrong: %v", s.Points)
+	}
+	// whole range
+	if !tr.Sub(0, 4).Equal(tr) {
+		t.Error("Sub(0,n-1) should equal the trajectory")
+	}
+	// single point
+	if tr.Sub(2, 2).Len() != 1 {
+		t.Error("single-point sub")
+	}
+}
+
+func TestSubPanicsOnInvalid(t *testing.T) {
+	tr := FromXY(0, 0, 1, 0)
+	for _, rng := range [][2]int{{-1, 0}, {0, 2}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sub(%d,%d) should panic", rng[0], rng[1])
+				}
+			}()
+			tr.Sub(rng[0], rng[1])
+		}()
+	}
+}
+
+func TestReverse(t *testing.T) {
+	tr := FromXY(0, 0, 1, 1, 2, 2)
+	r := tr.Reverse()
+	if r.Pt(0).X != 2 || r.Pt(2).X != 0 {
+		t.Errorf("Reverse = %v", r.Points)
+	}
+	if !r.Reverse().Equal(tr) {
+		t.Error("double reverse should be identity")
+	}
+	// reversal leaves the original untouched
+	if tr.Pt(0).X != 0 {
+		t.Error("Reverse mutated the source")
+	}
+}
+
+func TestReverseInvolutionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64(), Y: rng.Float64(), T: float64(i)}
+		}
+		tr := New(pts...)
+		return tr.Reverse().Reverse().Equal(tr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumSubtrajectories(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		pts := make([]geo.Point, n)
+		tr := New(pts...)
+		// count explicitly
+		count := 0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				count++
+			}
+		}
+		if got := tr.NumSubtrajectories(); got != count {
+			t.Errorf("n=%d: NumSubtrajectories = %d, want %d", n, got, count)
+		}
+	}
+}
+
+func TestLengthAndDuration(t *testing.T) {
+	tr := FromXY(0, 0, 3, 4, 3, 4)
+	if got := tr.Length(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Length = %v, want 5", got)
+	}
+	if got := tr.Duration(); got != 2 {
+		t.Errorf("Duration = %v, want 2", got)
+	}
+	if New().Length() != 0 || New().Duration() != 0 {
+		t.Error("empty trajectory length/duration should be 0")
+	}
+}
+
+func TestMBRTrajectory(t *testing.T) {
+	tr := FromXY(1, 2, -1, 5, 3, 0)
+	want := geo.Rect{MinX: -1, MinY: 0, MaxX: 3, MaxY: 5}
+	if got := tr.MBR(); got != want {
+		t.Errorf("MBR = %v, want %v", got, want)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tr := FromXY(0, 0, 10, 20)
+	b := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 20}
+	n := tr.Normalize(b)
+	if n.Pt(0).X != 0 || n.Pt(1).X != 1 || n.Pt(1).Y != 1 {
+		t.Errorf("Normalize = %v", n.Points)
+	}
+	// degenerate bounds map to 0.5
+	flat := FromXY(5, 5, 5, 5).Normalize(geo.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5})
+	if flat.Pt(0).X != 0.5 || flat.Pt(0).Y != 0.5 {
+		t.Errorf("degenerate Normalize = %v", flat.Points)
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := FromXY(0, 0, 10, 0)
+	r := tr.Resample(5)
+	if r.Len() != 5 {
+		t.Fatalf("Resample len = %d, want 5", r.Len())
+	}
+	for i, want := range []float64{0, 2.5, 5, 7.5, 10} {
+		if math.Abs(r.Pt(i).X-want) > 1e-9 {
+			t.Errorf("Resample pt %d x = %v, want %v", i, r.Pt(i).X, want)
+		}
+	}
+	// endpoints preserved
+	if r.Pt(0) != tr.Pt(0) {
+		t.Error("Resample should keep the first point")
+	}
+	// zero-length trajectory
+	still := New(geo.Point{X: 1, Y: 1}, geo.Point{X: 1, Y: 1})
+	rs := still.Resample(3)
+	if rs.Len() != 3 || rs.Pt(2).X != 1 {
+		t.Errorf("Resample of stationary trajectory = %v", rs.Points)
+	}
+	// k == 1
+	if tr.Resample(1).Len() != 1 {
+		t.Error("Resample(1) should return a single point")
+	}
+	// empty
+	if New().Resample(4).Len() != 0 {
+		t.Error("Resample of empty should be empty")
+	}
+}
+
+func TestResamplePreservesEndpointsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		k := int(kRaw)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		}
+		tr := New(pts...)
+		r := tr.Resample(k)
+		if r.Len() != k {
+			return false
+		}
+		first, last := r.Pt(0), r.Pt(k-1)
+		const eps = 1e-6
+		return math.Abs(first.X-pts[0].X) < eps && math.Abs(first.Y-pts[0].Y) < eps &&
+			math.Abs(last.X-pts[n-1].X) < eps && math.Abs(last.Y-pts[n-1].Y) < eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateScale(t *testing.T) {
+	tr := FromXY(1, 1, 2, 2)
+	tt := tr.Translate(3, -1)
+	if tt.Pt(0) != (geo.Point{X: 4, Y: 0, T: 0}) {
+		t.Errorf("Translate = %v", tt.Points)
+	}
+	ts := tr.Scale(2)
+	if ts.Pt(1) != (geo.Point{X: 4, Y: 4, T: 1}) {
+		t.Errorf("Scale = %v", ts.Points)
+	}
+	// source untouched
+	if tr.Pt(0).X != 1 {
+		t.Error("Translate/Scale mutated source")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{I: 2, J: 5}
+	if !iv.Valid(6) {
+		t.Error("interval should be valid for n=6")
+	}
+	if iv.Valid(5) {
+		t.Error("interval should be invalid for n=5")
+	}
+	if (Interval{I: 3, J: 2}).Valid(10) {
+		t.Error("inverted interval should be invalid")
+	}
+	if iv.Len() != 4 {
+		t.Errorf("Len = %d, want 4", iv.Len())
+	}
+	if iv.String() != "[2,5]" {
+		t.Errorf("String = %q", iv.String())
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	a := FromXY(0, 0, 1, 1)
+	b := FromXY(0, 1e-9, 1, 1)
+	if !a.ApproxEqual(b, 1e-6) {
+		t.Error("should be approx equal")
+	}
+	if a.ApproxEqual(b, 1e-12) {
+		t.Error("should not be approx equal at tight eps")
+	}
+	if a.ApproxEqual(FromXY(0, 0), 1) {
+		t.Error("different lengths are never approx equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromXY(0, 0, 1, 1)
+	c := a.Clone()
+	c.Points[0].X = 99
+	if a.Pt(0).X == 99 {
+		t.Error("Clone shares storage with source")
+	}
+}
