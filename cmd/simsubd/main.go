@@ -1,0 +1,97 @@
+// Command simsubd serves similar subtrajectory search over HTTP: a sharded
+// in-memory trajectory store answering concurrent top-k queries under any
+// registered measure and algorithm, with a bounded worker pool, per-request
+// timeouts and an LRU result cache.
+//
+// Usage:
+//
+//	simsubd -addr :8080 -shards 8 -workers 16 -cache 4096
+//	simsubd -addr :8080 -data porto.csv -index grid
+//
+// Endpoints: POST /v1/trajectories, /v1/topk, /v1/search; GET /v1/stats,
+// /healthz. See README.md for an example curl session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simsub/internal/engine"
+	"simsub/internal/server"
+	"simsub/internal/traj"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simsubd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		shards    = flag.Int("shards", 4, "store shard count")
+		workers   = flag.Int("workers", 0, "bounded worker-pool size (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", 1024, "LRU result-cache entries (0 disables)")
+		indexName = flag.String("index", "rtree", "per-shard index: rtree, grid, none")
+		dataPath  = flag.String("data", "", "optional CSV of trajectories to preload")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request search timeout cap")
+	)
+	flag.Parse()
+
+	var kind engine.IndexKind
+	switch *indexName {
+	case "rtree":
+		kind = engine.RTree
+	case "grid":
+		kind = engine.Grid
+	case "none":
+		kind = engine.ScanAll
+	default:
+		log.Fatalf("unknown -index %q (want rtree, grid or none)", *indexName)
+	}
+
+	eng := engine.New(engine.Config{
+		Shards:    *shards,
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Index:     kind,
+	})
+	if *dataPath != "" {
+		ts, err := traj.LoadCSV(*dataPath)
+		if err != nil {
+			log.Fatalf("preloading %s: %v", *dataPath, err)
+		}
+		eng.Add(ts)
+		log.Printf("preloaded %d trajectories from %s", len(ts), *dataPath)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng, server.Options{MaxTimeout: *timeout}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (%d shards, cache %d, index %s)", *addr, *shards, *cacheSize, *indexName)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module simsub
+
+go 1.24

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simsub/internal/engine"
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+// Serving-path throughput baselines: concurrent top-k QPS through the
+// engine across shard counts, with the result cache off (every request
+// recomputes) and on (requests drawn from a small working set of queries).
+// Future PRs touching the serving path should compare against these.
+
+func servingData(n, pts int, seed int64) []traj.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]traj.Trajectory, n)
+	for i := range ts {
+		p := make([]geo.Point, pts)
+		x, y := rng.Float64()*10, rng.Float64()*10
+		for j := range p {
+			x += rng.NormFloat64() * 0.3
+			y += rng.NormFloat64() * 0.3
+			p[j] = geo.Point{X: x, Y: y, T: float64(j)}
+		}
+		ts[i] = traj.New(p...)
+	}
+	return ts
+}
+
+func benchEngineTopK(b *testing.B, shards, cacheSize int) {
+	eng := engine.New(engine.Config{Shards: shards, CacheSize: cacheSize, Index: engine.ScanAll})
+	eng.Add(servingData(400, 24, 7))
+	queries := servingData(32, 8, 8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(9))
+		for pb.Next() {
+			q := queries[rng.Intn(len(queries))]
+			_, _, err := eng.TopK(context.Background(), engine.Query{
+				Q: q, K: 10, Measure: "dtw", Algorithm: "pss",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+func BenchmarkEngineTopK(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		for _, cache := range []struct {
+			name string
+			size int
+		}{{"cache=off", 0}, {"cache=on", 256}} {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, cache.name), func(b *testing.B) {
+				benchEngineTopK(b, shards, cache.size)
+			})
+		}
+	}
+}

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"container/heap"
+	"context"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -93,32 +94,102 @@ type Match struct {
 	Result Result
 }
 
+// RankBefore is the canonical total order of top-k answers: ascending
+// distance, with deterministic tie-breaking by trajectory identifier and
+// interval so that serial, parallel and sharded searches agree on
+// equal-distance matches. Every ranking in this package and the engine's
+// per-shard merge must use it.
+func RankBefore(d1 float64, id1 int, iv1 traj.Interval, d2 float64, id2 int, iv2 traj.Interval) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	if id1 != id2 {
+		return id1 < id2
+	}
+	if iv1.I != iv2.I {
+		return iv1.I < iv2.I
+	}
+	return iv1.J < iv2.J
+}
+
+func matchLess(a, b Match) bool {
+	return RankBefore(a.Result.Dist, a.TrajIndex, a.Result.Interval,
+		b.Result.Dist, b.TrajIndex, b.Result.Interval)
+}
+
+// topKHeap is a bounded max-heap of the k best matches seen so far: the
+// worst retained match sits at the root and is evicted when a better one
+// arrives, giving O(n log k) top-k selection instead of sorting all n.
+type topKHeap struct {
+	k  int
+	ms []Match
+}
+
+func (h *topKHeap) Len() int           { return len(h.ms) }
+func (h *topKHeap) Less(i, j int) bool { return matchLess(h.ms[j], h.ms[i]) }
+func (h *topKHeap) Swap(i, j int)      { h.ms[i], h.ms[j] = h.ms[j], h.ms[i] }
+func (h *topKHeap) Push(x any)         { h.ms = append(h.ms, x.(Match)) }
+func (h *topKHeap) Pop() any           { m := h.ms[len(h.ms)-1]; h.ms = h.ms[:len(h.ms)-1]; return m }
+func (h *topKHeap) offer(m Match) {
+	switch {
+	case h.k <= 0:
+	case len(h.ms) < h.k:
+		heap.Push(h, m)
+	case matchLess(m, h.ms[0]):
+		h.ms[0] = m
+		heap.Fix(h, 0)
+	}
+}
+
+// sorted drains the heap into an ascending slice.
+func (h *topKHeap) sorted() []Match {
+	out := make([]Match, len(h.ms))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Match)
+	}
+	return out
+}
+
 // TopK runs the algorithm over every candidate trajectory and returns the k
 // best matches ordered by ascending distance. With the index enabled,
 // candidates are limited to MBR-intersecting trajectories.
 func (db *Database) TopK(alg Algorithm, q traj.Trajectory, k int) []Match {
+	out, _ := db.TopKCtx(context.Background(), alg, q, k)
+	return out
+}
+
+// TopKCtx is TopK with cancellation: the context is checked between
+// per-trajectory searches, so a server can abandon a long-running query.
+// A single trajectory search is not interruptible once started. On
+// cancellation it returns (nil, ctx.Err()).
+func (db *Database) TopKCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int) ([]Match, error) {
 	cands := db.Candidates(q)
-	matches := make([]Match, 0, len(cands))
+	h := topKHeap{k: k}
 	for _, ci := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := db.trajs[ci]
 		if t.Len() == 0 {
 			continue
 		}
-		matches = append(matches, Match{TrajIndex: ci, Result: alg.Search(t, q)})
+		h.offer(Match{TrajIndex: ci, Result: alg.Search(t, q)})
 	}
-	sort.Slice(matches, func(i, j int) bool {
-		return matches[i].Result.Dist < matches[j].Result.Dist
-	})
-	if k < len(matches) {
-		matches = matches[:k]
-	}
-	return matches
+	return h.sorted(), nil
 }
 
 // TopKParallel is TopK with the per-trajectory searches fanned out over
 // workers goroutines (0 = GOMAXPROCS). The algorithm and measure must be
 // safe for concurrent use; every algorithm and measure in this library is.
 func (db *Database) TopKParallel(alg Algorithm, q traj.Trajectory, k, workers int) []Match {
+	out, _ := db.TopKParallelCtx(context.Background(), alg, q, k, workers)
+	return out
+}
+
+// TopKParallelCtx is TopKParallel with cancellation: every worker checks
+// the context before starting each per-trajectory search and stops early
+// when it is done. On cancellation it returns (nil, ctx.Err()).
+func (db *Database) TopKParallelCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k, workers int) ([]Match, error) {
 	cands := db.Candidates(q)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -127,7 +198,7 @@ func (db *Database) TopKParallel(alg Algorithm, q traj.Trajectory, k, workers in
 		workers = len(cands)
 	}
 	if workers <= 1 {
-		return db.TopK(alg, q, k)
+		return db.TopKCtx(ctx, alg, q, k)
 	}
 	matches := make([]Match, len(cands))
 	valid := make([]bool, len(cands))
@@ -137,7 +208,7 @@ func (db *Database) TopKParallel(alg Algorithm, q traj.Trajectory, k, workers in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(cands) {
 					return
@@ -152,17 +223,16 @@ func (db *Database) TopKParallel(alg Algorithm, q traj.Trajectory, k, workers in
 		}()
 	}
 	wg.Wait()
-	out := matches[:0]
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	h := topKHeap{k: k}
 	for i := range matches {
 		if valid[i] {
-			out = append(out, matches[i])
+			h.offer(matches[i])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Result.Dist < out[j].Result.Dist })
-	if k < len(out) {
-		out = out[:k]
-	}
-	return out
+	return h.sorted(), nil
 }
 
 // Best returns the single best match (TopK with k = 1); ok is false when

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"simsub/internal/traj"
+)
+
+// cacheKey identifies one top-k answer. The generation counter is bumped on
+// every bulk load, so results computed against an older store version become
+// unreachable and age out of the LRU instead of being served stale.
+type cacheKey struct {
+	gen     uint64
+	measure string
+	algo    string
+	k       int
+	digest  uint64
+}
+
+// digest fingerprints a query trajectory with FNV-1a over the raw bits of
+// its coordinates and timestamps.
+func digest(t traj.Trajectory) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range t.Points {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.X))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.Y))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.T))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// resultCache is a mutex-guarded LRU of top-k answers. Cached match slices
+// are shared between hits and must be treated as read-only by callers.
+// Entries keep the query trajectory itself: the 64-bit digest routes the
+// lookup, the point-wise comparison on hit makes a collision (constructible
+// for FNV against untrusted queries) a miss instead of a wrong answer.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	query traj.Trajectory
+	val   []Match
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+func (c *resultCache) get(k cacheKey, q traj.Trajectory) ([]Match, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok || !el.Value.(*cacheEntry).query.Equal(q) {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) put(k cacheKey, q traj.Trajectory, v []Match) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.query = q
+		ent.val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, query: q, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// purge drops every entry. Called on bulk loads: the generation bump makes
+// old entries unreachable anyway, so purging frees their LRU slots rather
+// than letting dead entries crowd out fresh answers.
+func (c *resultCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}

@@ -1,0 +1,392 @@
+// Package engine is the query-serving layer over the SimSub algorithms: a
+// sharded in-memory trajectory store whose shards each carry their own
+// pruning index, searched concurrently through a bounded worker pool with
+// context-based cancellation, an LRU cache of top-k answers, and a batched
+// top-k that merges the per-shard result heaps into one global ranking.
+//
+// The engine lifts the single-database search of internal/core to a
+// concurrent service: trajectories are distributed round-robin over shards
+// by global ID, each top-k query fans out one bounded task per shard
+// (core's cancellable heap-based TopKCtx), and the per-shard ascending
+// lists are k-way merged. Package server exposes it over HTTP.
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"slices"
+
+	"simsub/internal/core"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// IndexKind selects the per-shard pruning structure. The zero value is the
+// R-tree, so a zero Config gets MBR pruning.
+type IndexKind int
+
+// Per-shard index kinds.
+const (
+	RTree IndexKind = iota
+	Grid
+	ScanAll
+)
+
+func (k IndexKind) coreKind() core.IndexKind {
+	switch k {
+	case Grid:
+		return core.GridFileIndex
+	case ScanAll:
+		return core.NoIndex
+	default:
+		return core.RTreeIndex
+	}
+}
+
+// Config sizes an Engine. Zero values select the documented defaults.
+type Config struct {
+	// Shards is the number of store shards (default 4). More shards mean
+	// more intra-query parallelism and cheaper per-batch index rebuilds.
+	Shards int
+	// Workers bounds the number of concurrently executing per-shard search
+	// tasks across all in-flight queries (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU result-cache capacity in entries; 0 disables
+	// caching.
+	CacheSize int
+	// Index is the per-shard pruning structure (default RTree).
+	Index IndexKind
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Query is one top-k request against the engine's store.
+type Query struct {
+	// Q is the query trajectory.
+	Q traj.Trajectory
+	// K is the number of matches wanted.
+	K int
+	// Measure names a registered similarity measure ("dtw", "frechet", ...).
+	Measure string
+	// Algorithm names a search algorithm accepted by core.AlgorithmFor
+	// ("exacts", "pss", "pos", ...).
+	Algorithm string
+}
+
+// Match is one ranked answer: the matched subtrajectory identified by the
+// engine-assigned trajectory ID.
+type Match struct {
+	// TrajID is the global ID the engine assigned at load time.
+	TrajID int
+	// Result locates the subtrajectory within that trajectory.
+	Result core.Result
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Trajectories int   `json:"trajectories"`
+	Points       int   `json:"points"`
+	Shards       int   `json:"shards"`
+	Workers      int   `json:"workers"`
+	Queries      int64 `json:"queries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	InFlight     int64 `json:"in_flight"`
+}
+
+// shard is one partition of the store: a slice of trajectories (global IDs
+// ≡ shard index mod shard count) behind a core.Database rebuilt per bulk
+// load. Reads take the RLock; bulk loads swap in a fresh database under
+// the write lock, so in-flight searches keep their consistent snapshot.
+type shard struct {
+	mu    sync.RWMutex
+	kind  core.IndexKind
+	trajs []traj.Trajectory
+	db    *core.Database
+}
+
+func (s *shard) add(ts []traj.Trajectory) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trajs = append(s.trajs, ts...)
+	s.db = core.NewDatabaseIndexed(s.trajs, s.kind)
+}
+
+// snapshot returns the shard's current database, which is immutable once
+// built and therefore safe to search after the lock is released.
+func (s *shard) snapshot() *core.Database {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db
+}
+
+func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int) ([]Match, error) {
+	db := s.snapshot()
+	if db == nil {
+		return nil, nil
+	}
+	local, err := db.TopKCtx(ctx, alg, q, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(local))
+	for i, m := range local {
+		out[i] = Match{TrajID: db.Traj(m.TrajIndex).ID, Result: m.Result}
+	}
+	return out, nil
+}
+
+// Engine is a sharded, concurrent trajectory-search service. All methods
+// are safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	sem    chan struct{} // bounded worker pool: one slot per running shard task
+	cache  *resultCache
+
+	addMu  sync.Mutex // serializes bulk loads so IDs land in shard order
+	nextID atomic.Int64
+	points atomic.Int64
+	gen    atomic.Uint64
+
+	queries  atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	inflight atomic.Int64
+}
+
+// New builds an engine from the config (zero value usable).
+func New(cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		sem:    make(chan struct{}, cfg.Workers),
+		cache:  newResultCache(cfg.CacheSize),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{kind: cfg.Index.coreKind()}
+	}
+	return e
+}
+
+// Add bulk-loads trajectories, assigning each a dense global ID (returned
+// in input order) and distributing them round-robin over the shards. Each
+// affected shard rebuilds its index once per call, so batch loads are much
+// cheaper than one-at-a-time loads. Loading invalidates cached results.
+func (e *Engine) Add(ts []traj.Trajectory) []int {
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	// seqlock on the store generation: odd while shards are being swapped,
+	// even when stable. A query caches its answer only if the generation
+	// was even and unchanged across its whole search, so a ranking built
+	// from a mixed pre/post-load snapshot can never enter the cache.
+	e.gen.Add(1)
+	defer e.gen.Add(1)
+	ids := make([]int, len(ts))
+	buckets := make([][]traj.Trajectory, len(e.shards))
+	var pts int64
+	for i, t := range ts {
+		id := int(e.nextID.Add(1)) - 1
+		t.ID = id
+		ids[i] = id
+		pts += int64(t.Len())
+		buckets[id%len(e.shards)] = append(buckets[id%len(e.shards)], t)
+	}
+	for si, b := range buckets {
+		if len(b) > 0 {
+			e.shards[si].add(b)
+		}
+	}
+	e.points.Add(pts)
+	e.cache.purge()
+	return ids
+}
+
+// Len returns the number of stored trajectories.
+func (e *Engine) Len() int { return int(e.nextID.Load()) }
+
+// Traj returns the trajectory with the given global ID.
+func (e *Engine) Traj(id int) (traj.Trajectory, bool) {
+	if id < 0 || id >= e.Len() {
+		return traj.Trajectory{}, false
+	}
+	s := e.shards[id%len(e.shards)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	local := id / len(e.shards)
+	if local >= len(s.trajs) {
+		return traj.Trajectory{}, false
+	}
+	return s.trajs[local], true
+}
+
+// ResolveNames builds the named measure and algorithm. Spring and UCR
+// compute DTW internally regardless of the measure argument, so pairing
+// them with any other measure is rejected rather than silently returning
+// mislabeled distances.
+func ResolveNames(measure, algorithm string) (core.Algorithm, error) {
+	m, err := sim.ByName(measure)
+	if err != nil {
+		return nil, err
+	}
+	switch algorithm {
+	case "spring", "ucr":
+		if measure != "dtw" {
+			return nil, fmt.Errorf("engine: algorithm %q is DTW-specific and ignores measure %q; use measure \"dtw\"", algorithm, measure)
+		}
+	}
+	alg, ok := core.AlgorithmFor(algorithm, m)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown algorithm %q", algorithm)
+	}
+	return alg, nil
+}
+
+// Resolve builds the measure and algorithm a query names.
+func (e *Engine) Resolve(q Query) (core.Algorithm, error) {
+	return ResolveNames(q.Measure, q.Algorithm)
+}
+
+// TopK answers a top-k query: one bounded search task per shard, merged
+// into a global ascending ranking. cached reports whether the answer came
+// from the LRU; the returned slice is shared on cache hits and must not be
+// mutated. TopK honors ctx cancellation and deadlines.
+func (e *Engine) TopK(ctx context.Context, q Query) (matches []Match, cached bool, err error) {
+	if q.Q.Len() == 0 {
+		return nil, false, errors.New("engine: empty query trajectory")
+	}
+	alg, err := e.Resolve(q)
+	if err != nil {
+		return nil, false, err
+	}
+	e.queries.Add(1)
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+
+	var key cacheKey
+	if e.cache != nil {
+		key = cacheKey{gen: e.gen.Load(), measure: q.Measure, algo: q.Algorithm, k: q.K, digest: digest(q.Q)}
+		if ms, ok := e.cache.get(key, q.Q); ok {
+			e.hits.Add(1)
+			return ms, true, nil
+		}
+		e.misses.Add(1)
+	}
+
+	perShard := make([][]Match, len(e.shards))
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			select {
+			case e.sem <- struct{}{}:
+				defer func() { <-e.sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, serr := range errs {
+		if serr != nil {
+			return nil, false, serr
+		}
+	}
+	merged := mergeTopK(perShard, q.K)
+	// only cache if the store was stable (even generation) and no load
+	// overlapped the search — see the seqlock in Add. The cache keeps its
+	// own copy so the miss-path return stays caller-owned.
+	if e.cache != nil && key.gen%2 == 0 && e.gen.Load() == key.gen {
+		e.cache.put(key, q.Q, slices.Clone(merged))
+	}
+	return merged, false, nil
+}
+
+// mergeHeap is a min-heap over the heads of per-shard ascending match
+// lists, ordered by core.RankBefore (with the global trajectory ID as the
+// identifier) so the merged order matches a flat database's ranking.
+type mergeHeap []mergeCursor
+
+type mergeCursor struct {
+	list []Match
+	pos  int
+}
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].list[h[i].pos], h[j].list[h[j].pos]
+	return core.RankBefore(a.Result.Dist, a.TrajID, a.Result.Interval,
+		b.Result.Dist, b.TrajID, b.Result.Interval)
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() any     { old := *h; c := old[len(old)-1]; *h = old[:len(old)-1]; return c }
+func (h mergeHeap) head() Match   { return h[0].list[h[0].pos] }
+func (h *mergeHeap) advance() {
+	(*h)[0].pos++
+	if (*h)[0].pos >= len((*h)[0].list) {
+		heap.Pop(h)
+	} else {
+		heap.Fix(h, 0)
+	}
+}
+
+// mergeTopK k-way merges per-shard ascending top-k lists into the global
+// top k.
+func mergeTopK(perShard [][]Match, k int) []Match {
+	h := make(mergeHeap, 0, len(perShard))
+	total := 0
+	for _, ms := range perShard {
+		if len(ms) > 0 {
+			h = append(h, mergeCursor{list: ms})
+			total += len(ms)
+		}
+	}
+	heap.Init(&h)
+	if k < 0 {
+		k = 0
+	}
+	if k > total {
+		k = total
+	}
+	out := make([]Match, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		out = append(out, h.head())
+		h.advance()
+	}
+	return out
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Trajectories: e.Len(),
+		Points:       int(e.points.Load()),
+		Shards:       len(e.shards),
+		Workers:      e.cfg.Workers,
+		Queries:      e.queries.Load(),
+		CacheHits:    e.hits.Load(),
+		CacheMisses:  e.misses.Load(),
+		CacheEntries: e.cache.len(),
+		InFlight:     e.inflight.Load(),
+	}
+}

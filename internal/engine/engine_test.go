@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"simsub/internal/core"
+	"simsub/internal/geo"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+func randTraj(rng *rand.Rand, n int) traj.Trajectory {
+	pts := make([]geo.Point, n)
+	x, y := rng.Float64()*10, rng.Float64()*10
+	for i := range pts {
+		x += rng.NormFloat64() * 0.3
+		y += rng.NormFloat64() * 0.3
+		pts[i] = geo.Point{X: x, Y: y, T: float64(i)}
+	}
+	return traj.New(pts...)
+}
+
+func randSet(rng *rand.Rand, n int) []traj.Trajectory {
+	ts := make([]traj.Trajectory, n)
+	for i := range ts {
+		ts[i] = randTraj(rng, rng.Intn(20)+8)
+	}
+	return ts
+}
+
+// TestEngineMatchesDatabase loads the same trajectories into a sharded
+// engine and a flat core.Database with matching pruning semantics and
+// checks the rankings coincide across shard counts (the shard-merge
+// correctness test). Scan and R-tree prune per trajectory, so a flat
+// reference exists; the grid's cell geometry depends on shard-local
+// bounds, so its results are validated structurally instead.
+func TestEngineMatchesDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	ts := randSet(rng, 60)
+	q := randTraj(rng, 6)
+	for _, measure := range []string{"dtw", "frechet"} {
+		m, err := sim.ByName(measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg, _ := core.AlgorithmFor("exacts", m)
+		for _, kind := range []IndexKind{ScanAll, RTree} {
+			db := core.NewDatabaseIndexed(ts, kind.coreKind())
+			want, err := db.TopKCtx(context.Background(), alg, q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 3, 8} {
+				e := New(Config{Shards: shards, Index: kind})
+				e.Add(ts)
+				got, cached, err := e.TopK(context.Background(), Query{
+					Q: q, K: 10, Measure: measure, Algorithm: "exacts",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cached {
+					t.Fatal("fresh engine reported a cache hit")
+				}
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d kind=%d: %d matches, want %d", shards, kind, len(got), len(want))
+				}
+				for i := range want {
+					// engine IDs are assigned densely in Add order, so they
+					// equal the database's trajectory indices
+					if got[i].TrajID != want[i].TrajIndex || got[i].Result != want[i].Result {
+						t.Errorf("shards=%d kind=%d rank %d: got {%d %+v}, want {%d %+v}",
+							shards, kind, i, got[i].TrajID, got[i].Result, want[i].TrajIndex, want[i].Result)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineGridIndex checks the grid-sharded engine returns correctly
+// scored, ascending, deduplicated matches (exact set equality with a flat
+// database is not guaranteed because each shard grids its own bounds).
+func TestEngineGridIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	ts := randSet(rng, 40)
+	e := New(Config{Shards: 4, Index: Grid})
+	e.Add(ts)
+	q := randTraj(rng, 6)
+	m, _ := sim.ByName("dtw")
+	got, _, err := e.TopK(context.Background(), Query{Q: q, K: 8, Measure: "dtw", Algorithm: "exacts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i, g := range got {
+		if i > 0 && got[i-1].Result.Dist > g.Result.Dist {
+			t.Fatal("grid matches not ascending")
+		}
+		if seen[g.TrajID] {
+			t.Fatalf("trajectory %d ranked twice", g.TrajID)
+		}
+		seen[g.TrajID] = true
+		tr, ok := e.Traj(g.TrajID)
+		if !ok {
+			t.Fatalf("match names unknown trajectory %d", g.TrajID)
+		}
+		iv := g.Result.Interval
+		if want := m.Dist(tr.Sub(iv.I, iv.J), q); want != g.Result.Dist {
+			t.Fatalf("match %d: dist %v, recomputed %v", i, g.Result.Dist, want)
+		}
+	}
+}
+
+func TestEngineCacheHitAndInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ts := randSet(rng, 30)
+	e := New(Config{Shards: 4, CacheSize: 8})
+	e.Add(ts)
+	q := Query{Q: randTraj(rng, 5), K: 5, Measure: "dtw", Algorithm: "pss"}
+
+	first, cached, err := e.TopK(context.Background(), q)
+	if err != nil || cached {
+		t.Fatalf("first query: cached=%v err=%v", cached, err)
+	}
+	second, cached, err := e.TopK(context.Background(), q)
+	if err != nil || !cached {
+		t.Fatalf("second query: cached=%v err=%v, want a hit", cached, err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("cached answer differs from computed answer")
+		}
+	}
+	st := e.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.Queries != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 2 queries", st)
+	}
+
+	// loading more data bumps the generation and purges dead entries: the
+	// same query must recompute and the cache must report empty
+	e.Add(randSet(rng, 8))
+	if n := e.Stats().CacheEntries; n != 0 {
+		t.Fatalf("cache holds %d entries after load, want 0 (purged)", n)
+	}
+	if _, cached, err = e.TopK(context.Background(), q); err != nil || cached {
+		t.Fatalf("post-load query: cached=%v err=%v, want a recompute", cached, err)
+	}
+
+	// different k is a different cache entry
+	q2 := q
+	q2.K = 3
+	if _, cached, err = e.TopK(context.Background(), q2); err != nil || cached {
+		t.Fatalf("different-k query: cached=%v err=%v, want a miss", cached, err)
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	e := New(Config{Shards: 2, CacheSize: 2})
+	e.Add(randSet(rng, 10))
+	queries := []Query{
+		{Q: randTraj(rng, 5), K: 3, Measure: "dtw", Algorithm: "pss"},
+		{Q: randTraj(rng, 5), K: 3, Measure: "dtw", Algorithm: "pss"},
+		{Q: randTraj(rng, 5), K: 3, Measure: "dtw", Algorithm: "pss"},
+	}
+	for _, q := range queries {
+		if _, _, err := e.TopK(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.cache.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", n)
+	}
+	// the oldest entry was evicted, the newest two still hit
+	if _, cached, _ := e.TopK(context.Background(), queries[0]); cached {
+		t.Fatal("evicted entry still hit")
+	}
+	if _, cached, _ := e.TopK(context.Background(), queries[2]); !cached {
+		t.Fatal("recent entry missed")
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	e := New(Config{Shards: 4})
+	e.Add(randSet(rng, 40))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.TopK(ctx, Query{Q: randTraj(rng, 5), K: 5, Measure: "dtw", Algorithm: "exacts"}); err == nil {
+		t.Fatal("cancelled TopK returned no error")
+	}
+	if inflight := e.Stats().InFlight; inflight != 0 {
+		t.Fatalf("in-flight = %d after cancellation, want 0", inflight)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := New(Config{})
+	rng := rand.New(rand.NewSource(64))
+	if _, _, err := e.TopK(context.Background(), Query{Q: traj.New(), K: 3, Measure: "dtw", Algorithm: "pss"}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, _, err := e.TopK(context.Background(), Query{Q: randTraj(rng, 5), K: 3, Measure: "nope", Algorithm: "pss"}); err == nil {
+		t.Fatal("unknown measure accepted")
+	}
+	if _, _, err := e.TopK(context.Background(), Query{Q: randTraj(rng, 5), K: 3, Measure: "dtw", Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// Spring and UCR compute DTW regardless of the requested measure: any
+	// other pairing would return mislabeled distances and must be rejected
+	for _, algo := range []string{"spring", "ucr"} {
+		if _, _, err := e.TopK(context.Background(), Query{Q: randTraj(rng, 5), K: 3, Measure: "frechet", Algorithm: algo}); err == nil {
+			t.Fatalf("%s accepted with a non-DTW measure", algo)
+		}
+		if _, err := ResolveNames("dtw", algo); err != nil {
+			t.Fatalf("%s rejected with dtw: %v", algo, err)
+		}
+	}
+	// empty store answers with no matches, not an error
+	got, _, err := e.TopK(context.Background(), Query{Q: randTraj(rng, 5), K: 3, Measure: "dtw", Algorithm: "pss"})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty store: got %d matches, err=%v", len(got), err)
+	}
+}
+
+func TestEngineTrajLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	ts := randSet(rng, 23)
+	e := New(Config{Shards: 4})
+	ids := e.Add(ts)
+	if len(ids) != len(ts) || e.Len() != len(ts) {
+		t.Fatalf("ids=%d len=%d, want %d", len(ids), e.Len(), len(ts))
+	}
+	for i, id := range ids {
+		got, ok := e.Traj(id)
+		if !ok || !got.Equal(ts[i]) {
+			t.Fatalf("Traj(%d): ok=%v, mismatch=%v", id, ok, !got.Equal(ts[i]))
+		}
+	}
+	if _, ok := e.Traj(len(ts)); ok {
+		t.Fatal("out-of-range ID resolved")
+	}
+	if _, ok := e.Traj(-1); ok {
+		t.Fatal("negative ID resolved")
+	}
+}
+
+// TestEngineConcurrentQueries hammers one engine from many goroutines while
+// verifying every answer against a reference database.
+func TestEngineConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	ts := randSet(rng, 50)
+	db := core.NewDatabase(ts, false)
+	e := New(Config{Shards: 4, Workers: 4, CacheSize: 16, Index: ScanAll})
+	e.Add(ts)
+	queries := make([]traj.Trajectory, 8)
+	for i := range queries {
+		queries[i] = randTraj(rng, 5)
+	}
+	m, _ := sim.ByName("dtw")
+	alg, _ := core.AlgorithmFor("pss", m)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				q := queries[(g+rep)%len(queries)]
+				got, _, err := e.TopK(context.Background(), Query{Q: q, K: 5, Measure: "dtw", Algorithm: "pss"})
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				want := db.TopK(alg, q, 5)
+				if len(got) != len(want) {
+					errs <- "length mismatch"
+					return
+				}
+				for i := range want {
+					if got[i].TrajID != want[i].TrajIndex || got[i].Result != want[i].Result {
+						errs <- "ranking mismatch"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

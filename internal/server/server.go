@@ -1,0 +1,380 @@
+// Package server exposes the engine over an HTTP/JSON API:
+//
+//	POST /v1/trajectories  bulk-load trajectories into the engine
+//	POST /v1/topk          top-k search over the stored trajectories
+//	POST /v1/search        stateless subtrajectory search on an inline pair
+//	GET  /v1/stats         engine and server counters
+//	GET  /healthz          liveness probe
+//
+// Requests inherit the client connection's context, optionally tightened by
+// a per-request timeout_ms and the server's MaxTimeout cap, so abandoned or
+// slow queries are cancelled instead of holding worker slots.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"simsub/internal/core"
+	"simsub/internal/engine"
+	"simsub/internal/geo"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// Options tunes a Server. The zero value is usable.
+type Options struct {
+	// MaxTimeout caps every request's search time (default 30s). A request
+	// may ask for less via timeout_ms but never for more.
+	MaxTimeout time.Duration
+	// MaxBodyBytes limits request body size (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxSearches bounds concurrent /v1/search computations (default
+	// 2×GOMAXPROCS). An abandoned search holds its slot until it finishes,
+	// so timed-out requests cannot pile up unbounded background work.
+	MaxSearches int
+}
+
+func (o *Options) fill() {
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.MaxSearches <= 0 {
+		o.MaxSearches = 2 * runtime.GOMAXPROCS(0)
+	}
+}
+
+// Server is the HTTP front end of an engine. It implements http.Handler.
+type Server struct {
+	eng       *engine.Engine
+	opts      Options
+	mux       *http.ServeMux
+	searchSem chan struct{}
+	start     time.Time
+}
+
+// New builds a server over the engine.
+func New(eng *engine.Engine, opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		eng:       eng,
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		searchSem: make(chan struct{}, opts.MaxSearches),
+		start:     time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/trajectories", s.handleLoad)
+	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Trajectory is the wire form of a trajectory: points are [x, y] or
+// [x, y, t] triples; a missing t defaults to the point's index. IDs are
+// always server-assigned (returned by the load response), so the wire form
+// deliberately has no id field — sending one is rejected as unknown.
+type Trajectory struct {
+	Points [][]float64 `json:"points"`
+}
+
+// toTraj converts the wire form, validating point arity.
+func (wt Trajectory) toTraj() (traj.Trajectory, error) {
+	pts := make([]geo.Point, len(wt.Points))
+	for i, p := range wt.Points {
+		switch len(p) {
+		case 2:
+			pts[i] = geo.Point{X: p[0], Y: p[1], T: float64(i)}
+		case 3:
+			pts[i] = geo.Point{X: p[0], Y: p[1], T: p[2]}
+		default:
+			return traj.Trajectory{}, fmt.Errorf("point %d has %d coordinates, want [x,y] or [x,y,t]", i, len(p))
+		}
+	}
+	return traj.Trajectory{Points: pts}, nil
+}
+
+// matchJSON is the wire form of one ranked answer.
+type matchJSON struct {
+	TrajID   int     `json:"traj_id"`
+	Start    int     `json:"start"`
+	End      int     `json:"end"`
+	Dist     float64 `json:"dist"`
+	Sim      float64 `json:"sim"`
+	Explored int     `json:"explored"`
+}
+
+func toMatchJSON(m engine.Match) matchJSON {
+	return matchJSON{
+		TrajID:   m.TrajID,
+		Start:    m.Result.Interval.I,
+		End:      m.Result.Interval.J,
+		Dist:     m.Result.Dist,
+		Sim:      sim.Sim(m.Result.Dist),
+		Explored: m.Result.Explored,
+	}
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// requestContext derives the search context: the client connection's
+// context bounded by min(timeout_ms, MaxTimeout). The comparison happens
+// in millisecond space so an absurd client value cannot overflow the
+// duration multiply — it just gets the MaxTimeout cap.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.opts.MaxTimeout
+	if timeoutMS > 0 && int64(timeoutMS) < int64(d/time.Millisecond) {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// searchStatus maps a search error to an HTTP status: timeouts are 504,
+// client disconnects 499 (nginx convention; net/http won't deliver it).
+func searchStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+type loadRequest struct {
+	Trajectories []Trajectory `json:"trajectories"`
+}
+
+type loadResponse struct {
+	Loaded int   `json:"loaded"`
+	IDs    []int `json:"ids"`
+	Total  int   `json:"total"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Trajectories) == 0 {
+		writeError(w, http.StatusBadRequest, "no trajectories in request")
+		return
+	}
+	ts := make([]traj.Trajectory, len(req.Trajectories))
+	for i, wt := range req.Trajectories {
+		t, err := wt.toTraj()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "trajectory %d: %v", i, err)
+			return
+		}
+		if t.Len() == 0 {
+			writeError(w, http.StatusBadRequest, "trajectory %d is empty", i)
+			return
+		}
+		ts[i] = t
+	}
+	ids := s.eng.Add(ts)
+	writeJSON(w, http.StatusOK, loadResponse{Loaded: len(ids), IDs: ids, Total: s.eng.Len()})
+}
+
+type topkRequest struct {
+	Query     Trajectory `json:"query"`
+	K         int        `json:"k"`
+	Measure   string     `json:"measure"`
+	Algorithm string     `json:"algorithm"`
+	TimeoutMS int        `json:"timeout_ms"`
+}
+
+type topkResponse struct {
+	Matches []matchJSON `json:"matches"`
+	Cached  bool        `json:"cached"`
+	TookMS  float64     `json:"took_ms"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, err := req.Query.toTraj()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	if q.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "query trajectory is empty")
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.Measure == "" {
+		req.Measure = "dtw"
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "pss"
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	matches, cached, err := s.eng.TopK(ctx, engine.Query{
+		Q: q, K: req.K, Measure: req.Measure, Algorithm: req.Algorithm,
+	})
+	if err != nil {
+		writeError(w, searchStatus(err), "topk: %v", err)
+		return
+	}
+	out := make([]matchJSON, len(matches))
+	for i, m := range matches {
+		out[i] = toMatchJSON(m)
+	}
+	writeJSON(w, http.StatusOK, topkResponse{
+		Matches: out,
+		Cached:  cached,
+		TookMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+type searchRequest struct {
+	Data      Trajectory `json:"data"`
+	Query     Trajectory `json:"query"`
+	Measure   string     `json:"measure"`
+	Algorithm string     `json:"algorithm"`
+	TimeoutMS int        `json:"timeout_ms"`
+}
+
+type searchResponse struct {
+	Start    int     `json:"start"`
+	End      int     `json:"end"`
+	Dist     float64 `json:"dist"`
+	Sim      float64 `json:"sim"`
+	Explored int     `json:"explored"`
+	TookMS   float64 `json:"took_ms"`
+}
+
+// handleSearch answers the stateless pairwise SimSub problem: the best
+// subtrajectory of an inline data trajectory for an inline query.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	data, err := req.Data.toTraj()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "data: %v", err)
+		return
+	}
+	q, err := req.Query.toTraj()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	if data.Len() == 0 || q.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "data and query trajectories must be non-empty")
+		return
+	}
+	if req.Measure == "" {
+		req.Measure = "dtw"
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "exacts"
+	}
+	alg, err := engine.ResolveNames(req.Measure, req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	// algorithms are not interruptible mid-trajectory, so the search runs in
+	// a goroutine the handler can abandon on timeout; the semaphore slot is
+	// held until the search actually finishes, bounding background work
+	select {
+	case s.searchSem <- struct{}{}:
+	case <-ctx.Done():
+		writeError(w, searchStatus(ctx.Err()), "search: %v", ctx.Err())
+		return
+	}
+	done := make(chan core.Result, 1)
+	go func() {
+		defer func() { <-s.searchSem }()
+		done <- alg.Search(data, q)
+	}()
+	select {
+	case res := <-done:
+		writeJSON(w, http.StatusOK, searchResponse{
+			Start:    res.Interval.I,
+			End:      res.Interval.J,
+			Dist:     res.Dist,
+			Sim:      sim.Sim(res.Dist),
+			Explored: res.Explored,
+			TookMS:   float64(time.Since(start).Microseconds()) / 1000,
+		})
+	case <-ctx.Done():
+		writeError(w, searchStatus(ctx.Err()), "search: %v", ctx.Err())
+	}
+}
+
+type statsResponse struct {
+	Engine        engine.Stats `json:"engine"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Goroutines    int          `json:"goroutines"`
+	Measures      []string     `json:"measures"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Engine:        s.eng.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Measures:      sim.Names(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

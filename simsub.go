@@ -11,8 +11,11 @@
 // Random-S, three similarity measures (DTW, discrete Fréchet and a
 // t2vec-style learned measure) plus extension measures (ERP, EDR, LCSS,
 // EDS, EDwP), an R-tree database index and the paper's full experiment
-// harness. See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// reproduced results.
+// harness. Beyond the reproduction, a sharded concurrent serving layer
+// (Engine, exposed over HTTP by cmd/simsubd) answers top-k queries under
+// heavy traffic. See DESIGN.md for the system inventory and architecture;
+// the experiment harness reproducing the paper's tables is cmd/experiments
+// (run it with -help for the knobs).
 //
 // # Quick start
 //
@@ -30,6 +33,7 @@ import (
 	"math/rand"
 
 	"simsub/internal/core"
+	"simsub/internal/engine"
 	"simsub/internal/geo"
 	"simsub/internal/rl"
 	"simsub/internal/sim"
@@ -65,6 +69,20 @@ type (
 	Policy = rl.Policy
 	// T2VecModel is the learned t2vec-style measure.
 	T2VecModel = t2vec.Model
+	// Engine is the sharded, concurrent trajectory-search service layer
+	// (per-shard indexes, bounded worker pool, LRU result cache); it backs
+	// the cmd/simsubd HTTP daemon and is usable in-process too.
+	Engine = engine.Engine
+	// EngineConfig sizes an Engine (shards, workers, cache, index kind).
+	EngineConfig = engine.Config
+	// EngineIndexKind selects an Engine's per-shard pruning structure.
+	EngineIndexKind = engine.IndexKind
+	// EngineQuery is one top-k request against an Engine.
+	EngineQuery = engine.Query
+	// EngineMatch is one ranked Engine answer, identified by global ID.
+	EngineMatch = engine.Match
+	// EngineStats is a snapshot of Engine counters.
+	EngineStats = engine.Stats
 )
 
 // New builds a trajectory from points.
@@ -206,11 +224,22 @@ const (
 	GridFileIndex = core.GridFileIndex
 )
 
+// Engine per-shard index kinds (the zero value is the R-tree).
+const (
+	EngineRTree   = engine.RTree
+	EngineGrid    = engine.Grid
+	EngineScanAll = engine.ScanAll
+)
+
 // NewDatabaseIndexed builds a database with an explicit index kind
 // (NoIndex, RTreeIndex, or the inverted GridFileIndex of §3.1).
 func NewDatabaseIndexed(ts []Trajectory, kind IndexKind) *Database {
 	return core.NewDatabaseIndexed(ts, kind)
 }
+
+// NewEngine builds the sharded concurrent search service. The zero config
+// is usable: 4 shards, GOMAXPROCS workers, R-tree indexes, no cache.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // TopKSubtrajectories returns the k most similar subtrajectories of t to q
 // in ascending distance order by exact enumeration (the top-k extension
