@@ -1,0 +1,234 @@
+// Package api defines the versioned wire types of the simsub query API:
+// the JSON request/response shapes spoken by the HTTP server
+// (internal/server), the HTTP client (package client) and the in-process
+// engine facade (internal/engine), plus the typed error model shared by
+// all three.
+//
+// One set of types, many front ends: the v2 endpoints (POST /v2/query,
+// POST /v2/query/stream, GET /v2/trajectories/{id}) consume these types
+// directly, the legacy /v1 endpoints adapt onto them, and the Searcher
+// interface lets a program swap an in-process *engine.Engine for a remote
+// *client.Client without touching call sites.
+package api
+
+import (
+	"context"
+
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+// Version is the current wire version. The /v1 endpoints remain available
+// as a thin compatibility adapter over the same query core.
+const Version = "v2"
+
+// Defaults applied when a spec omits the field. K has no default: a spec
+// must say how many matches it wants.
+const (
+	// DefaultMeasure is used when QuerySpec.Measure is empty.
+	DefaultMeasure = "dtw"
+	// DefaultTopKAlgorithm is used when QuerySpec.Algorithm is empty.
+	DefaultTopKAlgorithm = "pss"
+	// DefaultSearchAlgorithm is the /v1/search default (exact pairwise).
+	DefaultSearchAlgorithm = "exacts"
+)
+
+// Trajectory is the wire form of a trajectory: points are [x, y] pairs or
+// [x, y, t] triples; a missing t defaults to the point's index. IDs are
+// always server-assigned (returned by the load response), so the wire form
+// deliberately has no id field.
+type Trajectory struct {
+	Points [][]float64 `json:"points"`
+}
+
+// FromTraj converts an engine trajectory to wire form.
+func FromTraj(t traj.Trajectory) Trajectory {
+	pts := make([][]float64, t.Len())
+	for i, p := range t.Points {
+		pts[i] = []float64{p.X, p.Y, p.T}
+	}
+	return Trajectory{Points: pts}
+}
+
+// Rect is the wire form of an axis-aligned rectangle, used as the spatial
+// filter of a QuerySpec.
+type Rect struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// Geo converts the wire rectangle to the engine's geometry type.
+func (r Rect) Geo() geo.Rect {
+	return geo.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+// QuerySpec is one top-k request against the store: what to search for,
+// under which measure and algorithm (with optional per-query parameters),
+// over which spatial region, and which page of the ranking to return.
+type QuerySpec struct {
+	// Query is the query trajectory. Required, non-empty, finite.
+	Query Trajectory `json:"query"`
+	// K is the ranking size. Required: it must be positive and no larger
+	// than the store.
+	K int `json:"k"`
+	// Measure names a registered similarity measure (default "dtw").
+	Measure string `json:"measure,omitempty"`
+	// Algorithm names a search algorithm (default "pss").
+	Algorithm string `json:"algorithm,omitempty"`
+
+	// EDREps overrides the EDR matching tolerance (measure "edr" only).
+	EDREps float64 `json:"edr_eps,omitempty"`
+	// LCSSEps overrides the LCSS matching tolerance (measure "lcss" only).
+	LCSSEps float64 `json:"lcss_eps,omitempty"`
+	// CDTWBand overrides the relative Sakoe-Chiba band width in (0, 1]
+	// (measure "cdtw" only).
+	CDTWBand float64 `json:"cdtw_band,omitempty"`
+	// POSDelay overrides the POS-D split delay (algorithm "pos-d" only).
+	POSDelay int `json:"pos_delay,omitempty"`
+
+	// Filter, when set, restricts the search to trajectories whose MBR
+	// intersects it; the restriction is pushed down to the per-shard
+	// indexes.
+	Filter *Rect `json:"filter,omitempty"`
+	// Distinct collapses matches whose matched subtrajectories have
+	// identical points (duplicate loads of the same data), keeping the
+	// best-ranked representative; the answer may then hold fewer than K
+	// matches.
+	Distinct bool `json:"distinct,omitempty"`
+	// Offset skips the first Offset matches of the ranking.
+	Offset int `json:"offset,omitempty"`
+	// Limit caps the number of returned matches (0 = to the end).
+	Limit int `json:"limit,omitempty"`
+}
+
+// Query is the body of POST /v2/query: a batch of specs executed
+// concurrently against one store snapshot per spec, answered with one
+// QueryResult per spec in order.
+type Query struct {
+	Specs []QuerySpec `json:"specs"`
+	// TimeoutMS bounds the whole batch (capped by the server's MaxTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// StreamQuery is the body of POST /v2/query/stream: a single spec whose
+// matches are delivered incrementally as NDJSON StreamEvent records.
+type StreamQuery struct {
+	Spec QuerySpec `json:"spec"`
+	// TimeoutMS bounds the search (capped by the server's MaxTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Match is one ranked answer: the matched subtrajectory
+// [Start, End] (0-based, inclusive) of the stored trajectory TrajID.
+type Match struct {
+	TrajID   int     `json:"traj_id"`
+	Start    int     `json:"start"`
+	End      int     `json:"end"`
+	Dist     float64 `json:"dist"`
+	Sim      float64 `json:"sim"`
+	Explored int     `json:"explored"`
+}
+
+// QueryResult is the outcome of one spec of a batch: either an error or a
+// page of the ranking. A failed spec does not fail its batch.
+type QueryResult struct {
+	// Matches is the requested page of the ranking, ascending by distance.
+	Matches []Match `json:"matches"`
+	// Total is the size of the full ranking before offset/limit paging.
+	Total int `json:"total"`
+	// Cached reports whether the ranking came from the engine's LRU.
+	Cached bool `json:"cached"`
+	// Error is set when the spec failed; Matches is then empty.
+	Error *Error `json:"error,omitempty"`
+	// TookMS is the spec's wall-clock search time.
+	TookMS float64 `json:"took_ms"`
+}
+
+// QueryResponse answers POST /v2/query: Results[i] belongs to Specs[i].
+type QueryResponse struct {
+	Results []QueryResult `json:"results"`
+	TookMS  float64       `json:"took_ms"`
+}
+
+// StreamEvent is one NDJSON record of POST /v2/query/stream. Exactly one
+// field is set: Match records arrive as soon as a match enters the running
+// top-k (so early answers stream out while the scan continues), the final
+// record carries either the Summary or, after a mid-stream failure, the
+// Error.
+type StreamEvent struct {
+	Match   *Match         `json:"match,omitempty"`
+	Summary *StreamSummary `json:"summary,omitempty"`
+	Error   *Error         `json:"error,omitempty"`
+}
+
+// StreamSummary is the trailing record of a match stream. Matches is the
+// final ranking (after distinct collapsing and paging) and is
+// authoritative: the incremental Match records are provisional — a match
+// streamed early may be absent from the final ranking if better answers
+// displaced it.
+type StreamSummary struct {
+	Matches []Match `json:"matches"`
+	Total   int     `json:"total"`
+	Cached  bool    `json:"cached"`
+	// Emitted counts the provisional match records that preceded the
+	// summary.
+	Emitted int     `json:"emitted"`
+	TookMS  float64 `json:"took_ms"`
+}
+
+// LoadRequest is the body of POST /v1/trajectories.
+type LoadRequest struct {
+	Trajectories []Trajectory `json:"trajectories"`
+}
+
+// LoadResponse answers a bulk load with the server-assigned global IDs, in
+// request order.
+type LoadResponse struct {
+	Loaded int   `json:"loaded"`
+	IDs    []int `json:"ids"`
+	Total  int   `json:"total"`
+}
+
+// TrajectoryRecord answers GET /v2/trajectories/{id}.
+type TrajectoryRecord struct {
+	ID         int        `json:"id"`
+	Trajectory Trajectory `json:"trajectory"`
+}
+
+// Stats is the wire form of the engine counters.
+type Stats struct {
+	Trajectories int   `json:"trajectories"`
+	Points       int   `json:"points"`
+	Shards       int   `json:"shards"`
+	Workers      int   `json:"workers"`
+	Queries      int64 `json:"queries"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	InFlight     int64 `json:"in_flight"`
+}
+
+// StatsResponse answers GET /v1/stats and GET /v2/stats.
+type StatsResponse struct {
+	Engine        Stats    `json:"engine"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Goroutines    int      `json:"goroutines"`
+	Measures      []string `json:"measures"`
+}
+
+// Searcher answers batched v2 queries. Both the in-process *engine.Engine
+// and the remote *client.Client satisfy it, so a program can swap local
+// and remote search without code changes.
+type Searcher interface {
+	Query(ctx context.Context, req Query) (*QueryResponse, error)
+}
+
+// StreamSearcher additionally delivers one spec's matches incrementally:
+// emit is called for every provisional match in ranking-entry order, then
+// the summary returns the authoritative final ranking.
+type StreamSearcher interface {
+	Searcher
+	QueryStream(ctx context.Context, spec QuerySpec, emit func(Match) error) (*StreamSummary, error)
+}

@@ -1,0 +1,99 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code is a machine-readable error class. Clients should branch on codes,
+// never on message text.
+type Code string
+
+// Error codes. The set may grow; unrecognized codes should be treated as
+// CodeInternal.
+const (
+	// CodeInvalidArgument: the request is malformed — bad JSON, empty or
+	// non-finite trajectories, non-positive or oversized k, unknown
+	// measure/algorithm names, inapplicable parameters.
+	CodeInvalidArgument Code = "invalid_argument"
+	// CodeNotFound: the referenced resource (e.g. a trajectory ID) does
+	// not exist.
+	CodeNotFound Code = "not_found"
+	// CodeTimeout: the search exceeded its deadline.
+	CodeTimeout Code = "timeout"
+	// CodeCanceled: the caller went away before the search finished.
+	CodeCanceled Code = "canceled"
+	// CodeOverloaded: the server refused the work because a capacity bound
+	// (e.g. the pairwise-search slot pool) is saturated.
+	CodeOverloaded Code = "overloaded"
+	// CodeTooLarge: the request body exceeds the server's size limit.
+	CodeTooLarge Code = "too_large"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal Code = "internal"
+)
+
+// Error is the typed error carried on the wire and returned by every layer
+// of the query API. It satisfies the error interface, so it flows through
+// ordinary Go error returns and errors.As.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return string(e.Code) + ": " + e.Message }
+
+// Errorf builds a typed error.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// FromError coerces an arbitrary error into a typed *Error: typed errors
+// pass through unchanged (including wrapped ones), context expiry maps to
+// CodeTimeout/CodeCanceled, and anything else is CodeInternal. A nil error
+// maps to nil.
+func FromError(err error) *Error {
+	var ae *Error
+	switch {
+	case err == nil:
+		return nil
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, context.DeadlineExceeded):
+		return Errorf(CodeTimeout, "%v", err)
+	case errors.Is(err, context.Canceled):
+		return Errorf(CodeCanceled, "%v", err)
+	default:
+		return Errorf(CodeInternal, "%v", err)
+	}
+}
+
+// HTTPStatus maps the error to its HTTP response status. 499 is the nginx
+// client-closed-request convention (net/http cannot actually deliver it to
+// the disconnected client, but it keeps logs truthful).
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeInvalidArgument:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return 499
+	case CodeOverloaded:
+		return http.StatusServiceUnavailable
+	case CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ErrorResponse is the JSON envelope every endpoint uses for top-level
+// errors: {"error": {"code": "...", "message": "..."}}.
+type ErrorResponse struct {
+	Err Error `json:"error"`
+}

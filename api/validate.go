@@ -1,0 +1,68 @@
+package api
+
+import (
+	"math"
+
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+// This file is the wire boundary's validation layer: every trajectory,
+// rectangle and spec coming off the network (or handed to the in-process
+// facade) passes through here before it can reach a distance kernel, so
+// NaN/Inf coordinates, empty trajectories and malformed pages are rejected
+// as CodeInvalidArgument instead of silently poisoning a search.
+
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// ToTraj validates the wire trajectory and converts it: points must be
+// [x, y] or [x, y, t], every coordinate must be finite, and the trajectory
+// must be non-empty.
+func (t Trajectory) ToTraj() (traj.Trajectory, *Error) {
+	if len(t.Points) == 0 {
+		return traj.Trajectory{}, Errorf(CodeInvalidArgument, "trajectory is empty")
+	}
+	pts := make([]geo.Point, len(t.Points))
+	for i, p := range t.Points {
+		switch len(p) {
+		case 2:
+			pts[i] = geo.Point{X: p[0], Y: p[1], T: float64(i)}
+		case 3:
+			pts[i] = geo.Point{X: p[0], Y: p[1], T: p[2]}
+		default:
+			return traj.Trajectory{}, Errorf(CodeInvalidArgument,
+				"point %d has %d coordinates, want [x,y] or [x,y,t]", i, len(p))
+		}
+		if !finite(pts[i].X) || !finite(pts[i].Y) || !finite(pts[i].T) {
+			return traj.Trajectory{}, Errorf(CodeInvalidArgument,
+				"point %d has a non-finite coordinate", i)
+		}
+	}
+	return traj.Trajectory{Points: pts}, nil
+}
+
+// Validate checks the filter rectangle: finite and non-empty.
+func (r Rect) Validate() *Error {
+	if !finite(r.MinX) || !finite(r.MinY) || !finite(r.MaxX) || !finite(r.MaxY) {
+		return Errorf(CodeInvalidArgument, "filter has a non-finite coordinate")
+	}
+	if r.MinX > r.MaxX || r.MinY > r.MaxY {
+		return Errorf(CodeInvalidArgument,
+			"filter is empty: min (%g, %g) exceeds max (%g, %g)", r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
+	return nil
+}
+
+// WithDefaults returns the spec with empty measure/algorithm names filled
+// in (DefaultMeasure, DefaultTopKAlgorithm).
+func (s QuerySpec) WithDefaults() QuerySpec {
+	if s.Measure == "" {
+		s.Measure = DefaultMeasure
+	}
+	if s.Algorithm == "" {
+		s.Algorithm = DefaultTopKAlgorithm
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+// Package client is the Go client of a simsubd server. Client speaks the
+// versioned wire types of package api and satisfies the same api.Searcher
+// and api.StreamSearcher interfaces as the in-process *engine.Engine, so a
+// program can swap local and remote search without touching call sites:
+//
+//	var s api.Searcher = client.New("http://localhost:8080")
+//	// ... or, in-process, without a server:
+//	var s api.Searcher = simsub.NewEngine(simsub.EngineConfig{})
+//
+//	resp, err := s.Query(ctx, api.Query{Specs: []api.QuerySpec{{
+//		Query: api.Trajectory{Points: [][]float64{{2, 0}, {3, 1}}},
+//		K:     5,
+//	}}})
+//
+// Server-side failures come back as typed *api.Error values, so callers
+// branch on machine-readable codes (errors.As + Code), never on message
+// text or raw HTTP statuses.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"simsub/api"
+)
+
+var (
+	_ api.Searcher       = (*Client)(nil)
+	_ api.StreamSearcher = (*Client)(nil)
+)
+
+// Client is an HTTP client of one simsubd server. It is safe for
+// concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation). The default is http.DefaultClient;
+// streaming responses require a client without a forced response timeout
+// shorter than the search.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// errorFrom turns a non-2xx response into a typed error: the server's
+// error envelope when it parses, a generic internal error otherwise.
+func errorFrom(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var er api.ErrorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.Err.Code != "" {
+		return &er.Err
+	}
+	return api.Errorf(api.CodeInternal, "http %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// roundTrip POSTs (or GETs, with a nil in) the path and decodes a 2xx
+// JSON body into out.
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.send(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return errorFrom(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("client: encoding %s request: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.hc.Do(req)
+}
+
+// Load bulk-loads trajectories and returns their server-assigned global
+// IDs in input order.
+func (c *Client) Load(ctx context.Context, ts []api.Trajectory) (*api.LoadResponse, error) {
+	var out api.LoadResponse
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/trajectories", api.LoadRequest{Trajectories: ts}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query implements api.Searcher over POST /v2/query: the batch's specs are
+// answered concurrently by the server, Results[i] answering Specs[i], with
+// per-spec failures inside their result.
+func (c *Client) Query(ctx context.Context, req api.Query) (*api.QueryResponse, error) {
+	var out api.QueryResponse
+	if err := c.roundTrip(ctx, http.MethodPost, "/v2/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryStream implements api.StreamSearcher over POST /v2/query/stream:
+// emit receives each provisional match as its NDJSON record arrives —
+// while the server-side scan is still running — and the returned summary
+// carries the authoritative final ranking. An emit error aborts the stream
+// and is returned unchanged. When ctx carries a deadline it is also
+// forwarded (slightly shaved) as the search's server-side timeout_ms, so
+// expiry normally surfaces as the typed trailing timeout record rather
+// than a severed connection.
+func (c *Client) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(api.Match) error) (*api.StreamSummary, error) {
+	req := api.StreamQuery{Spec: spec}
+	if dl, ok := ctx.Deadline(); ok {
+		// the shave lets the server's typed error record beat the local
+		// context cutting the connection
+		if ms := int(time.Until(dl).Milliseconds()) - 50; ms > 0 {
+			req.TimeoutMS = ms
+		}
+	}
+	resp, err := c.send(ctx, http.MethodPost, "/v2/query/stream", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, errorFrom(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // the summary line carries the full ranking
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("client: decoding stream record: %w", err)
+		}
+		switch {
+		case ev.Match != nil:
+			if err := emit(*ev.Match); err != nil {
+				return nil, err
+			}
+		case ev.Error != nil:
+			return nil, ev.Error
+		case ev.Summary != nil:
+			return ev.Summary, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, api.Errorf(api.CodeInternal, "stream ended without a summary record")
+}
+
+// GetTrajectory fetches a stored trajectory by its global ID; an
+// unassigned ID returns a typed not_found error.
+func (c *Client) GetTrajectory(ctx context.Context, id int) (*api.TrajectoryRecord, error) {
+	var out api.TrajectoryRecord
+	if err := c.roundTrip(ctx, http.MethodGet, fmt.Sprintf("/v2/trajectories/%d", id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the engine and server counters.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.roundTrip(ctx, http.MethodGet, "/v2/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes the liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -8,8 +8,13 @@
 //	simsubd -addr :8080 -shards 8 -workers 16 -cache 4096
 //	simsubd -addr :8080 -data porto.csv -index grid
 //
-// Endpoints: POST /v1/trajectories, /v1/topk, /v1/search; GET /v1/stats,
-// /healthz. See README.md for an example curl session.
+// Endpoints: POST /v2/query (batched specs), POST /v2/query/stream (NDJSON
+// incremental matches), GET /v2/trajectories/{id}, GET /v2/stats, plus the
+// /v1 compatibility surface (POST /v1/trajectories, /v1/topk, /v1/search;
+// GET /v1/stats) and GET /healthz. Errors are typed
+// {"error": {"code", "message"}} envelopes. See docs/API.md for the full
+// endpoint reference and README.md for an example curl session; package
+// client is the matching Go client.
 package main
 
 import (

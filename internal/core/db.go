@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"simsub/internal/geo"
 	"simsub/internal/index"
 	"simsub/internal/sim"
 	"simsub/internal/traj"
@@ -19,6 +20,7 @@ import (
 // (and never did for DTW/Fréchet in its experiments).
 type Database struct {
 	trajs []traj.Trajectory
+	mbrs  []geo.Rect // per-trajectory MBRs, precomputed for filter pushdown
 	tree  *index.RTree
 	grid  *index.GridIndex
 }
@@ -46,12 +48,15 @@ func NewDatabase(ts []traj.Trajectory, withIndex bool) *Database {
 
 // NewDatabaseIndexed builds a database with the chosen index kind.
 func NewDatabaseIndexed(ts []traj.Trajectory, kind IndexKind) *Database {
-	db := &Database{trajs: ts}
+	db := &Database{trajs: ts, mbrs: make([]geo.Rect, len(ts))}
+	for i, t := range ts {
+		db.mbrs[i] = t.MBR()
+	}
 	switch kind {
 	case RTreeIndex:
 		entries := make([]index.Entry, len(ts))
-		for i, t := range ts {
-			entries[i] = index.Entry{Rect: t.MBR(), Ref: i}
+		for i := range ts {
+			entries[i] = index.Entry{Rect: db.mbrs[i], Ref: i}
 		}
 		db.tree = index.BulkLoad(entries, 32)
 	case GridFileIndex:
@@ -84,6 +89,25 @@ func (db *Database) Candidates(q traj.Trajectory) []int {
 		}
 		return out
 	}
+}
+
+// CandidatesFiltered returns Candidates(q) restricted to trajectories
+// whose MBR intersects filter; a nil filter means no restriction. This is
+// the pushdown target for a query's spatial constraint: the similarity
+// pruning and the region constraint compose into one candidate set before
+// any distance is computed.
+func (db *Database) CandidatesFiltered(q traj.Trajectory, filter *geo.Rect) []int {
+	cands := db.Candidates(q)
+	if filter == nil {
+		return cands
+	}
+	out := cands[:0]
+	for _, ci := range cands {
+		if db.mbrs[ci].Intersects(*filter) {
+			out = append(out, ci)
+		}
+	}
+	return out
 }
 
 // Match is one ranked answer of a top-k query.
@@ -163,19 +187,41 @@ func (db *Database) TopK(alg Algorithm, q traj.Trajectory, k int) []Match {
 // A single trajectory search is not interruptible once started. On
 // cancellation it returns (nil, ctx.Err()).
 func (db *Database) TopKCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int) ([]Match, error) {
-	cands := db.Candidates(q)
+	return db.TopKFilteredCtx(ctx, alg, q, k, nil)
+}
+
+// TopKFilteredCtx is TopKCtx restricted to trajectories whose MBR
+// intersects filter (nil = unrestricted).
+func (db *Database) TopKFilteredCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int, filter *geo.Rect) ([]Match, error) {
 	h := topKHeap{k: k}
-	for _, ci := range cands {
+	if err := db.ScanFilteredCtx(ctx, alg, q, filter, func(m Match) error {
+		h.offer(m)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return h.sorted(), nil
+}
+
+// ScanFilteredCtx runs the algorithm over every pruned (and, with a
+// non-nil filter, region-restricted) candidate, invoking fn with each
+// per-trajectory match in candidate order on the calling goroutine. An fn
+// error aborts the scan and is returned. It is the streaming primitive
+// under TopKFilteredCtx and the engine's incremental match delivery.
+func (db *Database) ScanFilteredCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, filter *geo.Rect, fn func(Match) error) error {
+	for _, ci := range db.CandidatesFiltered(q, filter) {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		t := db.trajs[ci]
 		if t.Len() == 0 {
 			continue
 		}
-		h.offer(Match{TrajIndex: ci, Result: alg.Search(t, q)})
+		if err := fn(Match{TrajIndex: ci, Result: alg.Search(t, q)}); err != nil {
+			return err
+		}
 	}
-	return h.sorted(), nil
+	return nil
 }
 
 // TopKParallel is TopK with the per-trajectory searches fanned out over

@@ -7,18 +7,45 @@ import (
 	"math"
 	"sync"
 
+	"simsub/internal/geo"
 	"simsub/internal/traj"
 )
 
-// cacheKey identifies one top-k answer. The generation counter is bumped on
-// every bulk load, so results computed against an older store version become
-// unreachable and age out of the LRU instead of being served stale.
+// cacheKey identifies one full (unpaged) top-k ranking. The generation
+// counter is bumped on every bulk load, so results computed against an
+// older store version become unreachable and age out of the LRU instead of
+// being served stale. Every spec dimension that changes the ranking is
+// part of the key — measure/algorithm names and their parameter overrides,
+// k, the spatial filter, distinct collapsing — while offset/limit are
+// deliberately absent: pages are windows over the cached full ranking, so
+// every page of a query hits the same entry.
 type cacheKey struct {
-	gen     uint64
-	measure string
-	algo    string
-	k       int
-	digest  uint64
+	gen       uint64
+	measure   string
+	algo      string
+	k         int
+	params    Params
+	filter    geo.Rect
+	hasFilter bool
+	distinct  bool
+	digest    uint64
+}
+
+// cacheKeyFor derives the ranking's cache key from the query spec.
+func (e *Engine) cacheKeyFor(q Query) cacheKey {
+	key := cacheKey{
+		gen:      e.gen.Load(),
+		measure:  q.Measure,
+		algo:     q.Algorithm,
+		k:        q.K,
+		params:   q.Params,
+		distinct: q.Distinct,
+		digest:   digest(q.Q),
+	}
+	if q.Filter != nil {
+		key.hasFilter, key.filter = true, *q.Filter
+	}
+	return key
 }
 
 // digest fingerprints a query trajectory with FNV-1a over the raw bits of

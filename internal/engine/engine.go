@@ -14,15 +14,16 @@ package engine
 import (
 	"container/heap"
 	"context"
-	"errors"
-	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"slices"
 
+	"simsub/api"
 	"simsub/internal/core"
+	"simsub/internal/geo"
 	"simsub/internal/sim"
 	"simsub/internal/traj"
 )
@@ -73,17 +74,50 @@ func (c *Config) fill() {
 	}
 }
 
-// Query is one top-k request against the engine's store.
+// Params carries per-query overrides for parameterized measures and
+// algorithms. The zero value means "use the registered defaults". Setting
+// a parameter whose measure/algorithm is not selected is an
+// invalid_argument error rather than a silent no-op.
+type Params struct {
+	// EDREps overrides EDR's matching tolerance (measure "edr").
+	EDREps float64
+	// LCSSEps overrides LCSS's matching tolerance (measure "lcss").
+	LCSSEps float64
+	// CDTWBand overrides CDTW's relative Sakoe-Chiba band in (0, 1]
+	// (measure "cdtw").
+	CDTWBand float64
+	// POSDelay overrides POS-D's split delay (algorithm "pos-d").
+	POSDelay int
+}
+
+// Query is one top-k request against the engine's store: the full query
+// spec of the v2 API. Q, K, Measure and Algorithm are required (see
+// ResolveQuery for names); the remaining fields refine the search.
 type Query struct {
 	// Q is the query trajectory.
 	Q traj.Trajectory
-	// K is the number of matches wanted.
+	// K is the ranking size: positive and no larger than the store.
 	K int
 	// Measure names a registered similarity measure ("dtw", "frechet", ...).
 	Measure string
 	// Algorithm names a search algorithm accepted by core.AlgorithmFor
 	// ("exacts", "pss", "pos", ...).
 	Algorithm string
+	// Params overrides parameterized measure/algorithm defaults.
+	Params Params
+	// Filter, when non-nil, restricts the search to trajectories whose MBR
+	// intersects it. The restriction is pushed down to each shard's
+	// pruning index, composing with the similarity pruning.
+	Filter *geo.Rect
+	// Distinct collapses matches whose matched subtrajectories carry
+	// identical points (duplicate loads of the same data), keeping the
+	// best-ranked representative; the ranking may then hold fewer than K
+	// matches.
+	Distinct bool
+	// Offset skips the first Offset matches of the ranking.
+	Offset int
+	// Limit caps the returned page size (0 = to the end of the ranking).
+	Limit int
 }
 
 // Match is one ranked answer: the matched subtrajectory identified by the
@@ -134,12 +168,12 @@ func (s *shard) snapshot() *core.Database {
 	return s.db
 }
 
-func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int) ([]Match, error) {
+func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int, filter *geo.Rect) ([]Match, error) {
 	db := s.snapshot()
 	if db == nil {
 		return nil, nil
 	}
-	local, err := db.TopKCtx(ctx, alg, q, k)
+	local, err := db.TopKFilteredCtx(ctx, alg, q, k, filter)
 	if err != nil {
 		return nil, err
 	}
@@ -235,44 +269,192 @@ func (e *Engine) Traj(id int) (traj.Trajectory, bool) {
 	return s.trajs[local], true
 }
 
-// ResolveNames builds the named measure and algorithm. Spring and UCR
-// compute DTW internally regardless of the measure argument, so pairing
-// them with any other measure is rejected rather than silently returning
-// mislabeled distances.
+// ResolveNames builds the named measure and algorithm with their
+// registered default parameters.
 func ResolveNames(measure, algorithm string) (core.Algorithm, error) {
-	m, err := sim.ByName(measure)
+	return ResolveQuery(measure, algorithm, Params{})
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// measureFor builds the named measure, applying parameter overrides. Every
+// parameter is strictly scoped to its measure: a tolerance aimed at a
+// measure that would ignore it is rejected, so a typo can never silently
+// change what a distance means.
+func measureFor(name string, p Params) (sim.Measure, error) {
+	if !finite(p.EDREps) || p.EDREps < 0 {
+		return nil, api.Errorf(api.CodeInvalidArgument, "edr_eps must be finite and non-negative, got %g", p.EDREps)
+	}
+	if !finite(p.LCSSEps) || p.LCSSEps < 0 {
+		return nil, api.Errorf(api.CodeInvalidArgument, "lcss_eps must be finite and non-negative, got %g", p.LCSSEps)
+	}
+	if !finite(p.CDTWBand) || p.CDTWBand < 0 || p.CDTWBand > 1 {
+		return nil, api.Errorf(api.CodeInvalidArgument, "cdtw_band must be in (0, 1], got %g", p.CDTWBand)
+	}
+	if p.EDREps != 0 && name != "edr" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "edr_eps set but measure is %q, not \"edr\"", name)
+	}
+	if p.LCSSEps != 0 && name != "lcss" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "lcss_eps set but measure is %q, not \"lcss\"", name)
+	}
+	if p.CDTWBand != 0 && name != "cdtw" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "cdtw_band set but measure is %q, not \"cdtw\"", name)
+	}
+	switch {
+	case name == "edr" && p.EDREps > 0:
+		return sim.EDR{Eps: p.EDREps}, nil
+	case name == "lcss" && p.LCSSEps > 0:
+		return sim.LCSS{Eps: p.LCSSEps}, nil
+	case name == "cdtw" && p.CDTWBand > 0:
+		return sim.CDTW{R: p.CDTWBand}, nil
+	}
+	m, err := sim.ByName(name)
+	if err != nil {
+		return nil, api.Errorf(api.CodeInvalidArgument, "%v", err)
+	}
+	return m, nil
+}
+
+// ResolveQuery builds the measure and algorithm a query names, applying
+// per-query parameter overrides. Spring and UCR compute DTW internally
+// regardless of the measure argument, so pairing them with any other
+// measure is rejected rather than silently returning mislabeled distances.
+// All resolution failures are typed *api.Error values with code
+// invalid_argument.
+func ResolveQuery(measure, algorithm string, p Params) (core.Algorithm, error) {
+	m, err := measureFor(measure, p)
 	if err != nil {
 		return nil, err
 	}
 	switch algorithm {
 	case "spring", "ucr":
 		if measure != "dtw" {
-			return nil, fmt.Errorf("engine: algorithm %q is DTW-specific and ignores measure %q; use measure \"dtw\"", algorithm, measure)
+			return nil, api.Errorf(api.CodeInvalidArgument,
+				"algorithm %q is DTW-specific and ignores measure %q; use measure \"dtw\"", algorithm, measure)
 		}
+	}
+	if p.POSDelay != 0 {
+		if p.POSDelay < 0 {
+			return nil, api.Errorf(api.CodeInvalidArgument, "pos_delay must be positive, got %d", p.POSDelay)
+		}
+		if algorithm != "pos-d" && algorithm != "posd" {
+			return nil, api.Errorf(api.CodeInvalidArgument, "pos_delay set but algorithm is %q, not \"pos-d\"", algorithm)
+		}
+		return core.POSD{M: m, D: p.POSDelay}, nil
 	}
 	alg, ok := core.AlgorithmFor(algorithm, m)
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown algorithm %q", algorithm)
+		return nil, api.Errorf(api.CodeInvalidArgument, "unknown algorithm %q", algorithm)
 	}
 	return alg, nil
 }
 
 // Resolve builds the measure and algorithm a query names.
 func (e *Engine) Resolve(q Query) (core.Algorithm, error) {
-	return ResolveNames(q.Measure, q.Algorithm)
+	return ResolveQuery(q.Measure, q.Algorithm, q.Params)
+}
+
+// validateQuery rejects malformed queries with typed invalid_argument
+// errors before any search work starts. The same checks guard the wire
+// boundary (api.Trajectory.ToTraj) and the in-process path, so NaN/Inf
+// coordinates and nonsensical k/pages can never reach a distance kernel.
+func (e *Engine) validateQuery(q Query) *api.Error {
+	if q.Q.Len() == 0 {
+		return api.Errorf(api.CodeInvalidArgument, "query trajectory is empty")
+	}
+	for i, p := range q.Q.Points {
+		if !finite(p.X) || !finite(p.Y) || !finite(p.T) {
+			return api.Errorf(api.CodeInvalidArgument, "query point %d has a non-finite coordinate", i)
+		}
+	}
+	if q.K <= 0 {
+		return api.Errorf(api.CodeInvalidArgument, "k must be positive, got %d", q.K)
+	}
+	if n := e.Len(); q.K > n {
+		return api.Errorf(api.CodeInvalidArgument, "k %d exceeds store size %d", q.K, n)
+	}
+	if q.Offset < 0 {
+		return api.Errorf(api.CodeInvalidArgument, "offset must be non-negative, got %d", q.Offset)
+	}
+	if q.Limit < 0 {
+		return api.Errorf(api.CodeInvalidArgument, "limit must be non-negative, got %d", q.Limit)
+	}
+	if f := q.Filter; f != nil {
+		if !finite(f.MinX) || !finite(f.MinY) || !finite(f.MaxX) || !finite(f.MaxY) {
+			return api.Errorf(api.CodeInvalidArgument, "filter has a non-finite coordinate")
+		}
+		if f.IsEmpty() {
+			return api.Errorf(api.CodeInvalidArgument, "filter rectangle is empty")
+		}
+	}
+	return nil
+}
+
+// pageOf selects the ranking window [offset, offset+limit) (limit 0 = to
+// the end). The page aliases full — which cache hits share — so callers
+// must treat it as read-only.
+func pageOf(full []Match, offset, limit int) []Match {
+	if offset >= len(full) {
+		return nil
+	}
+	out := full[offset:]
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	return out
+}
+
+// collapseDuplicates keeps the best-ranked match per distinct matched
+// subtrajectory content. Duplicates arise when the same data is bulk-
+// loaded more than once under different global IDs; with Query.Distinct
+// the ranking collapses them, so it may end up shorter than k. The input
+// must be freshly allocated (it is filtered in place).
+func (e *Engine) collapseDuplicates(ms []Match) []Match {
+	if len(ms) < 2 {
+		return ms
+	}
+	seen := make(map[uint64][]traj.Trajectory, len(ms))
+	out := ms[:0]
+next:
+	for _, m := range ms {
+		t, ok := e.Traj(m.TrajID)
+		if !ok {
+			out = append(out, m)
+			continue
+		}
+		sub := t.Sub(m.Result.Interval.I, m.Result.Interval.J)
+		d := digest(sub)
+		for _, prev := range seen[d] {
+			if prev.Equal(sub) {
+				continue next
+			}
+		}
+		seen[d] = append(seen[d], sub)
+		out = append(out, m)
+	}
+	return out
 }
 
 // TopK answers a top-k query: one bounded search task per shard, merged
-// into a global ascending ranking. cached reports whether the answer came
+// into a global ascending ranking, with distinct collapsing and
+// offset/limit paging applied last. cached reports whether the answer came
 // from the LRU; the returned slice is shared on cache hits and must not be
-// mutated. TopK honors ctx cancellation and deadlines.
+// mutated. TopK honors ctx cancellation and deadlines. Validation and
+// resolution failures are typed *api.Error values.
 func (e *Engine) TopK(ctx context.Context, q Query) (matches []Match, cached bool, err error) {
-	if q.Q.Len() == 0 {
-		return nil, false, errors.New("engine: empty query trajectory")
+	_, page, cached, err := e.topK(ctx, q)
+	return page, cached, err
+}
+
+// topK is TopK also returning the full (unpaged) ranking, which the API
+// adapter reports as the result's Total.
+func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached bool, err error) {
+	if aerr := e.validateQuery(q); aerr != nil {
+		return nil, nil, false, aerr
 	}
 	alg, err := e.Resolve(q)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	e.queries.Add(1)
 	e.inflight.Add(1)
@@ -280,10 +462,10 @@ func (e *Engine) TopK(ctx context.Context, q Query) (matches []Match, cached boo
 
 	var key cacheKey
 	if e.cache != nil {
-		key = cacheKey{gen: e.gen.Load(), measure: q.Measure, algo: q.Algorithm, k: q.K, digest: digest(q.Q)}
+		key = e.cacheKeyFor(q)
 		if ms, ok := e.cache.get(key, q.Q); ok {
 			e.hits.Add(1)
-			return ms, true, nil
+			return ms, pageOf(ms, q.Offset, q.Limit), true, nil
 		}
 		e.misses.Add(1)
 	}
@@ -302,23 +484,26 @@ func (e *Engine) TopK(ctx context.Context, q Query) (matches []Match, cached boo
 				errs[i] = ctx.Err()
 				return
 			}
-			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K)
+			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K, q.Filter)
 		}(i, s)
 	}
 	wg.Wait()
 	for _, serr := range errs {
 		if serr != nil {
-			return nil, false, serr
+			return nil, nil, false, serr
 		}
 	}
 	merged := mergeTopK(perShard, q.K)
+	if q.Distinct {
+		merged = e.collapseDuplicates(merged)
+	}
 	// only cache if the store was stable (even generation) and no load
 	// overlapped the search — see the seqlock in Add. The cache keeps its
 	// own copy so the miss-path return stays caller-owned.
 	if e.cache != nil && key.gen%2 == 0 && e.gen.Load() == key.gen {
 		e.cache.put(key, q.Q, slices.Clone(merged))
 	}
-	return merged, false, nil
+	return merged, pageOf(merged, q.Offset, q.Limit), false, nil
 }
 
 // mergeHeap is a min-heap over the heads of per-shard ascending match

@@ -2,10 +2,13 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"simsub/api"
 	"simsub/internal/core"
 	"simsub/internal/geo"
 	"simsub/internal/sim"
@@ -220,10 +223,30 @@ func TestEngineErrors(t *testing.T) {
 			t.Fatalf("%s rejected with dtw: %v", algo, err)
 		}
 	}
-	// empty store answers with no matches, not an error
-	got, _, err := e.TopK(context.Background(), Query{Q: randTraj(rng, 5), K: 3, Measure: "dtw", Algorithm: "pss"})
-	if err != nil || len(got) != 0 {
-		t.Fatalf("empty store: got %d matches, err=%v", len(got), err)
+	// k-validation is uniform: k ≤ 0, k > store size and unknown names all
+	// surface as the same typed invalid_argument error shape
+	e.Add(randSet(rng, 4))
+	for name, q := range map[string]Query{
+		"k zero":            {Q: randTraj(rng, 5), K: 0, Measure: "dtw", Algorithm: "pss"},
+		"k negative":        {Q: randTraj(rng, 5), K: -2, Measure: "dtw", Algorithm: "pss"},
+		"k over store":      {Q: randTraj(rng, 5), K: 5, Measure: "dtw", Algorithm: "pss"},
+		"unknown measure":   {Q: randTraj(rng, 5), K: 2, Measure: "nope", Algorithm: "pss"},
+		"unknown algorithm": {Q: randTraj(rng, 5), K: 2, Measure: "dtw", Algorithm: "nope"},
+		"NaN coordinate": {Q: traj.New(geo.Point{X: math.NaN(), Y: 0}, geo.Point{X: 1, Y: 1}),
+			K: 2, Measure: "dtw", Algorithm: "pss"},
+		"bad offset":      {Q: randTraj(rng, 5), K: 2, Offset: -1, Measure: "dtw", Algorithm: "pss"},
+		"bad limit":       {Q: randTraj(rng, 5), K: 2, Limit: -1, Measure: "dtw", Algorithm: "pss"},
+		"misdirected eps": {Q: randTraj(rng, 5), K: 2, Measure: "dtw", Algorithm: "pss", Params: Params{EDREps: 0.5}},
+		"misdirected delay": {Q: randTraj(rng, 5), K: 2, Measure: "dtw", Algorithm: "pss",
+			Params: Params{POSDelay: 3}},
+		"band out of range": {Q: randTraj(rng, 5), K: 2, Measure: "cdtw", Algorithm: "pss",
+			Params: Params{CDTWBand: 1.5}},
+	} {
+		_, _, err := e.TopK(context.Background(), q)
+		var ae *api.Error
+		if !errors.As(err, &ae) || ae.Code != api.CodeInvalidArgument {
+			t.Errorf("%s: err=%v, want typed invalid_argument", name, err)
+		}
 	}
 }
 

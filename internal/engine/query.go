@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"simsub/api"
+	"simsub/internal/geo"
+	"simsub/internal/sim"
+)
+
+// This file adapts the engine onto the api package's versioned wire types:
+// *Engine satisfies api.Searcher (batched queries) and api.StreamSearcher
+// (incremental match delivery), the same interfaces the HTTP client
+// implements, so in-process and remote search are interchangeable.
+
+var (
+	_ api.Searcher       = (*Engine)(nil)
+	_ api.StreamSearcher = (*Engine)(nil)
+)
+
+// QueryFromSpec validates a wire spec and converts it into an engine
+// query, filling in the default measure and algorithm names.
+func QueryFromSpec(spec api.QuerySpec) (Query, *api.Error) {
+	spec = spec.WithDefaults()
+	t, aerr := spec.Query.ToTraj()
+	if aerr != nil {
+		return Query{}, aerr
+	}
+	var filter *geo.Rect
+	if spec.Filter != nil {
+		if aerr := spec.Filter.Validate(); aerr != nil {
+			return Query{}, aerr
+		}
+		r := spec.Filter.Geo()
+		filter = &r
+	}
+	return Query{
+		Q:         t,
+		K:         spec.K,
+		Measure:   spec.Measure,
+		Algorithm: spec.Algorithm,
+		Params: Params{
+			EDREps:   spec.EDREps,
+			LCSSEps:  spec.LCSSEps,
+			CDTWBand: spec.CDTWBand,
+			POSDelay: spec.POSDelay,
+		},
+		Filter:   filter,
+		Distinct: spec.Distinct,
+		Offset:   spec.Offset,
+		Limit:    spec.Limit,
+	}, nil
+}
+
+// MatchToAPI converts an engine match to wire form.
+func MatchToAPI(m Match) api.Match {
+	return api.Match{
+		TrajID:   m.TrajID,
+		Start:    m.Result.Interval.I,
+		End:      m.Result.Interval.J,
+		Dist:     m.Result.Dist,
+		Sim:      sim.Sim(m.Result.Dist),
+		Explored: m.Result.Explored,
+	}
+}
+
+// MatchesToAPI converts a ranking to wire form (never nil, so JSON
+// renders an empty array rather than null).
+func MatchesToAPI(ms []Match) []api.Match {
+	out := make([]api.Match, len(ms))
+	for i, m := range ms {
+		out[i] = MatchToAPI(m)
+	}
+	return out
+}
+
+func tookMS(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// timeoutContext tightens ctx by ms milliseconds when positive. The
+// comparison-free clamp keeps an absurd ms from overflowing the duration
+// multiply into an already-expired deadline.
+func timeoutContext(ctx context.Context, ms int) (context.Context, context.CancelFunc) {
+	if ms <= 0 {
+		return context.WithCancel(ctx)
+	}
+	maxMS := int(math.MaxInt64 / int64(time.Millisecond))
+	if ms > maxMS {
+		ms = maxMS
+	}
+	return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+}
+
+// QueryOne answers a single spec; failures land in the result's Error
+// field as typed errors, mirroring one lane of a batch.
+func (e *Engine) QueryOne(ctx context.Context, spec api.QuerySpec) api.QueryResult {
+	start := time.Now()
+	q, aerr := QueryFromSpec(spec)
+	if aerr != nil {
+		return api.QueryResult{Error: aerr, TookMS: tookMS(start)}
+	}
+	full, page, cached, err := e.topK(ctx, q)
+	if err != nil {
+		return api.QueryResult{Error: api.FromError(err), TookMS: tookMS(start)}
+	}
+	return api.QueryResult{
+		Matches: MatchesToAPI(page),
+		Total:   len(full),
+		Cached:  cached,
+		TookMS:  tookMS(start),
+	}
+}
+
+// Query implements api.Searcher: the batch's specs are answered
+// concurrently — the per-shard tasks of all specs share the engine's
+// bounded worker pool, so a big batch amortizes dispatch without
+// overcommitting the machine. Results[i] answers Specs[i]; a failed spec
+// carries its typed error without failing the batch. The whole batch is
+// bounded by TimeoutMS when positive.
+func (e *Engine) Query(ctx context.Context, req api.Query) (*api.QueryResponse, error) {
+	if len(req.Specs) == 0 {
+		return nil, api.Errorf(api.CodeInvalidArgument, "query batch has no specs")
+	}
+	ctx, cancel := timeoutContext(ctx, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	results := make([]api.QueryResult, len(req.Specs))
+	var wg sync.WaitGroup
+	for i, spec := range req.Specs {
+		wg.Add(1)
+		go func(i int, spec api.QuerySpec) {
+			defer wg.Done()
+			results[i] = e.QueryOne(ctx, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	return &api.QueryResponse{Results: results, TookMS: tookMS(start)}, nil
+}
+
+// QueryStream implements api.StreamSearcher: emit receives every
+// provisional match as it enters the running top-k (single-goroutine,
+// in order of entry), and the returned summary carries the authoritative
+// final ranking. An emit error aborts the search and is returned.
+func (e *Engine) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(api.Match) error) (*api.StreamSummary, error) {
+	start := time.Now()
+	q, aerr := QueryFromSpec(spec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	emitted := 0
+	full, page, cached, err := e.topKStream(ctx, q, func(m Match) error {
+		emitted++
+		return emit(MatchToAPI(m))
+	})
+	if err != nil {
+		return nil, api.FromError(err)
+	}
+	return &api.StreamSummary{
+		Matches: MatchesToAPI(page),
+		Total:   len(full),
+		Cached:  cached,
+		Emitted: emitted,
+		TookMS:  tookMS(start),
+	}, nil
+}

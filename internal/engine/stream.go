@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+
+	"slices"
+
+	"simsub/internal/core"
+)
+
+// streamHeap is a bounded max-heap of the k best matches seen so far,
+// ordered by core.RankBefore with the global trajectory ID as identifier —
+// the streaming counterpart of core's per-shard topKHeap. Because shards
+// order equal-distance matches by shard-local index and global IDs are
+// assigned round-robin, the final sorted drain matches mergeTopK's ranking
+// exactly.
+type streamHeap struct {
+	k  int
+	ms []Match
+}
+
+func rankBefore(a, b Match) bool {
+	return core.RankBefore(a.Result.Dist, a.TrajID, a.Result.Interval,
+		b.Result.Dist, b.TrajID, b.Result.Interval)
+}
+
+func (h *streamHeap) Len() int           { return len(h.ms) }
+func (h *streamHeap) Less(i, j int) bool { return rankBefore(h.ms[j], h.ms[i]) }
+func (h *streamHeap) Swap(i, j int)      { h.ms[i], h.ms[j] = h.ms[j], h.ms[i] }
+func (h *streamHeap) Push(x any)         { h.ms = append(h.ms, x.(Match)) }
+func (h *streamHeap) Pop() any {
+	m := h.ms[len(h.ms)-1]
+	h.ms = h.ms[:len(h.ms)-1]
+	return m
+}
+
+// offer reports whether m entered the running top-k.
+func (h *streamHeap) offer(m Match) bool {
+	switch {
+	case h.k <= 0:
+		return false
+	case len(h.ms) < h.k:
+		heap.Push(h, m)
+		return true
+	case rankBefore(m, h.ms[0]):
+		h.ms[0] = m
+		heap.Fix(h, 0)
+		return true
+	}
+	return false
+}
+
+// sorted drains the heap into an ascending ranking.
+func (h *streamHeap) sorted() []Match {
+	out := make([]Match, len(h.ms))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Match)
+	}
+	return out
+}
+
+// TopKStream answers q like TopK but delivers provisional matches while
+// the scan is still running: emit is invoked — always from a single
+// goroutine — for every match that enters the running global top-k, so the
+// first answers reach the caller long before the last shard finishes. The
+// returned slice is the authoritative final ranking, identical to TopK's
+// answer for the same query; a provisionally emitted match may be absent
+// from it if later candidates displaced it. An emit error aborts the
+// search and is returned unchanged. On a cache hit the final page is
+// emitted match by match before the call returns.
+func (e *Engine) TopKStream(ctx context.Context, q Query, emit func(Match) error) (matches []Match, cached bool, err error) {
+	_, page, cached, err := e.topKStream(ctx, q, emit)
+	return page, cached, err
+}
+
+// topKStream is TopKStream also returning the full (unpaged) ranking.
+func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error) (full, page []Match, cached bool, err error) {
+	if aerr := e.validateQuery(q); aerr != nil {
+		return nil, nil, false, aerr
+	}
+	alg, err := e.Resolve(q)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	e.queries.Add(1)
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+
+	var key cacheKey
+	if e.cache != nil {
+		key = e.cacheKeyFor(q)
+		if ms, ok := e.cache.get(key, q.Q); ok {
+			e.hits.Add(1)
+			page := pageOf(ms, q.Offset, q.Limit)
+			for _, m := range page {
+				if err := emit(m); err != nil {
+					return nil, nil, false, err
+				}
+			}
+			return ms, page, true, nil
+		}
+		e.misses.Add(1)
+	}
+
+	// Shard scanners funnel every candidate's match into one channel; the
+	// collector (this goroutine) maintains the running global top-k and
+	// emits each match the moment it enters — no per-shard completion
+	// barrier between a candidate being searched and its match streaming
+	// out.
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan Match, 64)
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			select {
+			case e.sem <- struct{}{}:
+				defer func() { <-e.sem }()
+			case <-scanCtx.Done():
+				errs[i] = scanCtx.Err()
+				return
+			}
+			db := s.snapshot()
+			if db == nil {
+				return
+			}
+			errs[i] = db.ScanFilteredCtx(scanCtx, alg, q.Q, q.Filter, func(m core.Match) error {
+				gm := Match{TrajID: db.Traj(m.TrajIndex).ID, Result: m.Result}
+				select {
+				case ch <- gm:
+					return nil
+				case <-scanCtx.Done():
+					return scanCtx.Err()
+				}
+			})
+		}(i, s)
+	}
+	go func() { wg.Wait(); close(ch) }()
+
+	h := streamHeap{k: q.K}
+	var emitErr error
+	for m := range ch {
+		if emitErr != nil {
+			continue // drain so the cancelled shard senders can exit
+		}
+		if h.offer(m) {
+			if err := emit(m); err != nil {
+				emitErr = err
+				cancel()
+			}
+		}
+	}
+	if emitErr != nil {
+		return nil, nil, false, emitErr
+	}
+	for _, serr := range errs {
+		if serr != nil {
+			return nil, nil, false, serr
+		}
+	}
+	merged := h.sorted()
+	if q.Distinct {
+		merged = e.collapseDuplicates(merged)
+	}
+	// same stable-store condition as topK — see the seqlock in Add
+	if e.cache != nil && key.gen%2 == 0 && e.gen.Load() == key.gen {
+		e.cache.put(key, q.Q, slices.Clone(merged))
+	}
+	return merged, pageOf(merged, q.Offset, q.Limit), false, nil
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestTopKStreamMatchesTopK checks the streaming search's final ranking is
+// identical to the blocking TopK for the same query, and that every final
+// match was provisionally emitted on its way in.
+func TestTopKStreamMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	ts := randSet(rng, 60)
+	e := New(Config{Shards: 4, Index: ScanAll})
+	e.Add(ts)
+	q := Query{Q: randTraj(rng, 6), K: 8, Measure: "dtw", Algorithm: "pss"}
+
+	want, _, err := e.TopK(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []Match
+	got, cached, err := e.TopKStream(context.Background(), q, func(m Match) error {
+		emitted = append(emitted, m)
+		return nil
+	})
+	if err != nil || cached {
+		t.Fatalf("stream: cached=%v err=%v", cached, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream ranking has %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stream rank %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// every final answer must have streamed out when it entered the top-k
+	inEmitted := map[Match]bool{}
+	for _, m := range emitted {
+		inEmitted[m] = true
+	}
+	for _, m := range want {
+		if !inEmitted[m] {
+			t.Fatalf("final match %+v was never emitted", m)
+		}
+	}
+	if len(emitted) < len(want) {
+		t.Fatalf("only %d provisional emissions for a %d-deep final ranking", len(emitted), len(want))
+	}
+}
+
+// TestTopKStreamCacheHit checks a stream served from the LRU emits exactly
+// the final page and reports cached.
+func TestTopKStreamCacheHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	e := New(Config{Shards: 4, Index: ScanAll, CacheSize: 8})
+	e.Add(randSet(rng, 30))
+	q := Query{Q: randTraj(rng, 5), K: 6, Measure: "dtw", Algorithm: "pss"}
+
+	if _, _, err := e.TopK(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	var emitted []Match
+	got, cached, err := e.TopKStream(context.Background(), q, func(m Match) error {
+		emitted = append(emitted, m)
+		return nil
+	})
+	if err != nil || !cached {
+		t.Fatalf("cached stream: cached=%v err=%v", cached, err)
+	}
+	if len(emitted) != len(got) {
+		t.Fatalf("cache hit emitted %d matches for a %d-match page", len(emitted), len(got))
+	}
+	for i := range got {
+		if emitted[i] != got[i] {
+			t.Fatalf("cache-hit emission %d differs from the page", i)
+		}
+	}
+}
+
+// TestTopKStreamEmitError checks an emit failure aborts the search and
+// surfaces unchanged.
+func TestTopKStreamEmitError(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	e := New(Config{Shards: 4, Index: ScanAll})
+	e.Add(randSet(rng, 40))
+	boom := errors.New("client went away")
+	_, _, err := e.TopKStream(context.Background(),
+		Query{Q: randTraj(rng, 5), K: 5, Measure: "dtw", Algorithm: "pss"},
+		func(Match) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want the emit error", err)
+	}
+	if inflight := e.Stats().InFlight; inflight != 0 {
+		t.Fatalf("in-flight = %d after aborted stream", inflight)
+	}
+}

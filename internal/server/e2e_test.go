@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"simsub/api"
 	"simsub/internal/core"
 	"simsub/internal/engine"
 	"simsub/internal/sim"
@@ -184,15 +185,19 @@ func TestSearchConcurrencyBounded(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("first search: status %d, want 504", resp.StatusCode)
 	}
-	// a cheap search now has to wait for the slot and gives up
+	// a cheap search now has to wait for the slot and gives up: that is
+	// the server refusing work at its capacity bound, reported as a typed
+	// overloaded error (503), distinct from a search timeout (504)
 	fast := searchRequest{
 		Data:    toWire(randWalk(rng, 10)),
 		Query:   toWire(randWalk(rng, 4)),
 		Measure: "dtw", Algorithm: "exacts", TimeoutMS: 20,
 	}
 	resp = postJSON(t, srv.URL+"/v1/search", fast)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusGatewayTimeout {
-		t.Fatalf("queued search: status %d, want 504 while slot is held", resp.StatusCode)
+	var er api.ErrorResponse
+	code := resp.StatusCode
+	decodeBody(t, resp, &er)
+	if code != http.StatusServiceUnavailable || er.Err.Code != api.CodeOverloaded {
+		t.Fatalf("queued search: status %d error %+v, want 503 overloaded while slot is held", code, er.Err)
 	}
 }

@@ -1,10 +1,19 @@
-// Package server exposes the engine over an HTTP/JSON API:
+// Package server exposes the engine over an HTTP/JSON API. The wire types
+// and the typed error model live in package api; /v2 speaks them directly
+// and /v1 remains as a thin adapter over the same query core:
 //
 //	POST /v1/trajectories  bulk-load trajectories into the engine
-//	POST /v1/topk          top-k search over the stored trajectories
+//	POST /v1/topk          single top-k search (adapter over the v2 core)
 //	POST /v1/search        stateless subtrajectory search on an inline pair
 //	GET  /v1/stats         engine and server counters
+//	POST /v2/query         batch of query specs, one result per spec
+//	POST /v2/query/stream  one spec, matches streamed as NDJSON records
+//	GET  /v2/trajectories/{id}  fetch a stored trajectory by global ID
+//	GET  /v2/stats         engine and server counters
 //	GET  /healthz          liveness probe
+//
+// Every error is the typed envelope {"error": {"code", "message"}} with a
+// machine-readable code (api.Code) mapped onto the HTTP status.
 //
 // Requests inherit the client connection's context, optionally tightened by
 // a per-request timeout_ms and the server's MaxTimeout cap, so abandoned or
@@ -15,14 +24,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"runtime"
 	"time"
 
+	"simsub/api"
 	"simsub/internal/core"
 	"simsub/internal/engine"
-	"simsub/internal/geo"
 	"simsub/internal/sim"
 	"simsub/internal/traj"
 )
@@ -38,6 +46,8 @@ type Options struct {
 	// 2×GOMAXPROCS). An abandoned search holds its slot until it finishes,
 	// so timed-out requests cannot pile up unbounded background work.
 	MaxSearches int
+	// MaxBatchSpecs caps the specs per /v2/query batch (default 256).
+	MaxBatchSpecs int
 }
 
 func (o *Options) fill() {
@@ -49,6 +59,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxSearches <= 0 {
 		o.MaxSearches = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBatchSpecs <= 0 {
+		o.MaxBatchSpecs = 256
 	}
 }
 
@@ -75,6 +88,10 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v2/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v2/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("GET /v2/trajectories/{id}", s.handleGetTrajectory)
+	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -85,54 +102,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Trajectory is the wire form of a trajectory: points are [x, y] or
-// [x, y, t] triples; a missing t defaults to the point's index. IDs are
-// always server-assigned (returned by the load response), so the wire form
-// deliberately has no id field — sending one is rejected as unknown.
-type Trajectory struct {
-	Points [][]float64 `json:"points"`
-}
-
-// toTraj converts the wire form, validating point arity.
-func (wt Trajectory) toTraj() (traj.Trajectory, error) {
-	pts := make([]geo.Point, len(wt.Points))
-	for i, p := range wt.Points {
-		switch len(p) {
-		case 2:
-			pts[i] = geo.Point{X: p[0], Y: p[1], T: float64(i)}
-		case 3:
-			pts[i] = geo.Point{X: p[0], Y: p[1], T: p[2]}
-		default:
-			return traj.Trajectory{}, fmt.Errorf("point %d has %d coordinates, want [x,y] or [x,y,t]", i, len(p))
-		}
-	}
-	return traj.Trajectory{Points: pts}, nil
-}
-
-// matchJSON is the wire form of one ranked answer.
-type matchJSON struct {
-	TrajID   int     `json:"traj_id"`
-	Start    int     `json:"start"`
-	End      int     `json:"end"`
-	Dist     float64 `json:"dist"`
-	Sim      float64 `json:"sim"`
-	Explored int     `json:"explored"`
-}
-
-func toMatchJSON(m engine.Match) matchJSON {
-	return matchJSON{
-		TrajID:   m.TrajID,
-		Start:    m.Result.Interval.I,
-		End:      m.Result.Interval.J,
-		Dist:     m.Result.Dist,
-		Sim:      sim.Sim(m.Result.Dist),
-		Explored: m.Result.Explored,
-	}
-}
-
-type errorJSON struct {
-	Error string `json:"error"`
-}
+// Trajectory is the wire form of a trajectory (see api.Trajectory).
+type Trajectory = api.Trajectory
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -140,8 +111,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+// writeErr renders the typed error envelope with its mapped HTTP status.
+func writeErr(w http.ResponseWriter, ae *api.Error) {
+	writeJSON(w, ae.HTTPStatus(), api.ErrorResponse{Err: *ae})
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -150,10 +122,10 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			writeErr(w, api.Errorf(api.CodeTooLarge, "request body exceeds %d bytes", maxErr.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "bad request body: %v", err))
 		return false
 	}
 	return true
@@ -171,28 +143,9 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context
 	return context.WithTimeout(r.Context(), d)
 }
 
-// searchStatus maps a search error to an HTTP status: timeouts are 504,
-// client disconnects 499 (nginx convention; net/http won't deliver it).
-func searchStatus(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return 499
-	default:
-		return http.StatusBadRequest
-	}
-}
+type loadRequest = api.LoadRequest
 
-type loadRequest struct {
-	Trajectories []Trajectory `json:"trajectories"`
-}
-
-type loadResponse struct {
-	Loaded int   `json:"loaded"`
-	IDs    []int `json:"ids"`
-	Total  int   `json:"total"`
-}
+type loadResponse = api.LoadResponse
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	var req loadRequest
@@ -200,18 +153,14 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Trajectories) == 0 {
-		writeError(w, http.StatusBadRequest, "no trajectories in request")
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "no trajectories in request"))
 		return
 	}
 	ts := make([]traj.Trajectory, len(req.Trajectories))
 	for i, wt := range req.Trajectories {
-		t, err := wt.toTraj()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "trajectory %d: %v", i, err)
-			return
-		}
-		if t.Len() == 0 {
-			writeError(w, http.StatusBadRequest, "trajectory %d is empty", i)
+		t, aerr := wt.ToTraj()
+		if aerr != nil {
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "trajectory %d: %s", i, aerr.Message))
 			return
 		}
 		ts[i] = t
@@ -229,52 +178,31 @@ type topkRequest struct {
 }
 
 type topkResponse struct {
-	Matches []matchJSON `json:"matches"`
+	Matches []api.Match `json:"matches"`
 	Cached  bool        `json:"cached"`
 	TookMS  float64     `json:"took_ms"`
 }
 
+// handleTopK is the /v1 single-query adapter: the request is recast as a
+// one-spec api.QuerySpec and answered by the same engine path as /v2.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req topkRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	q, err := req.Query.toTraj()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "query: %v", err)
-		return
-	}
-	if q.Len() == 0 {
-		writeError(w, http.StatusBadRequest, "query trajectory is empty")
-		return
-	}
-	if req.K <= 0 {
-		req.K = 10
-	}
-	if req.Measure == "" {
-		req.Measure = "dtw"
-	}
-	if req.Algorithm == "" {
-		req.Algorithm = "pss"
-	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	start := time.Now()
-	matches, cached, err := s.eng.TopK(ctx, engine.Query{
-		Q: q, K: req.K, Measure: req.Measure, Algorithm: req.Algorithm,
+	res := s.eng.QueryOne(ctx, api.QuerySpec{
+		Query: req.Query, K: req.K, Measure: req.Measure, Algorithm: req.Algorithm,
 	})
-	if err != nil {
-		writeError(w, searchStatus(err), "topk: %v", err)
+	if res.Error != nil {
+		writeErr(w, res.Error)
 		return
 	}
-	out := make([]matchJSON, len(matches))
-	for i, m := range matches {
-		out[i] = toMatchJSON(m)
-	}
 	writeJSON(w, http.StatusOK, topkResponse{
-		Matches: out,
-		Cached:  cached,
-		TookMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Matches: res.Matches,
+		Cached:  res.Cached,
+		TookMS:  res.TookMS,
 	})
 }
 
@@ -302,29 +230,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	data, err := req.Data.toTraj()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "data: %v", err)
+	data, aerr := req.Data.ToTraj()
+	if aerr != nil {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "data: %s", aerr.Message))
 		return
 	}
-	q, err := req.Query.toTraj()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "query: %v", err)
-		return
-	}
-	if data.Len() == 0 || q.Len() == 0 {
-		writeError(w, http.StatusBadRequest, "data and query trajectories must be non-empty")
+	q, aerr := req.Query.ToTraj()
+	if aerr != nil {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "query: %s", aerr.Message))
 		return
 	}
 	if req.Measure == "" {
-		req.Measure = "dtw"
+		req.Measure = api.DefaultMeasure
 	}
 	if req.Algorithm == "" {
-		req.Algorithm = "exacts"
+		req.Algorithm = api.DefaultSearchAlgorithm
 	}
-	alg, err := engine.ResolveNames(req.Measure, req.Algorithm)
+	alg, err := engine.ResolveQuery(req.Measure, req.Algorithm, engine.Params{})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, api.FromError(err))
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -336,7 +260,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.searchSem <- struct{}{}:
 	case <-ctx.Done():
-		writeError(w, searchStatus(ctx.Err()), "search: %v", ctx.Err())
+		if errors.Is(ctx.Err(), context.Canceled) {
+			// the client went away while queued — a cancel, not overload
+			writeErr(w, api.FromError(ctx.Err()))
+			return
+		}
+		// the request expired before a slot freed up: the server is at its
+		// pairwise-search capacity bound, which is overload, not a search
+		// timeout
+		writeErr(w, api.Errorf(api.CodeOverloaded,
+			"no pairwise-search slot within the request deadline (%d concurrent searches)", s.opts.MaxSearches))
 		return
 	}
 	done := make(chan core.Result, 1)
@@ -355,20 +288,24 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			TookMS:   float64(time.Since(start).Microseconds()) / 1000,
 		})
 	case <-ctx.Done():
-		writeError(w, searchStatus(ctx.Err()), "search: %v", ctx.Err())
+		writeErr(w, api.FromError(ctx.Err()))
 	}
 }
 
-type statsResponse struct {
-	Engine        engine.Stats `json:"engine"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Goroutines    int          `json:"goroutines"`
-	Measures      []string     `json:"measures"`
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
-		Engine:        s.eng.Stats(),
+	es := s.eng.Stats()
+	writeJSON(w, http.StatusOK, api.StatsResponse{
+		Engine: api.Stats{
+			Trajectories: es.Trajectories,
+			Points:       es.Points,
+			Shards:       es.Shards,
+			Workers:      es.Workers,
+			Queries:      es.Queries,
+			CacheHits:    es.CacheHits,
+			CacheMisses:  es.CacheMisses,
+			CacheEntries: es.CacheEntries,
+			InFlight:     es.InFlight,
+		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		Measures:      sim.Names(),

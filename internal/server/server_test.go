@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"simsub/api"
 	"simsub/internal/engine"
 	"simsub/internal/geo"
 	"simsub/internal/traj"
@@ -101,7 +102,7 @@ func TestLoadAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sr statsResponse
+	var sr api.StatsResponse
 	decodeBody(t, resp, &sr)
 	if sr.Engine.Trajectories != 7 || sr.Engine.Points != 70 || sr.Engine.Shards != 2 {
 		t.Fatalf("stats %+v", sr.Engine)
@@ -168,7 +169,8 @@ func TestSearchEndpoint(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	ts, _ := newTestServer(t, engine.Config{})
+	ts, eng := newTestServer(t, engine.Config{})
+	eng.Add([]traj.Trajectory{randWalk(rand.New(rand.NewSource(73)), 8)})
 	cases := []struct {
 		name string
 		path string
@@ -180,9 +182,9 @@ func TestBadRequests(t *testing.T) {
 			loadRequest{Trajectories: []Trajectory{{}}}, http.StatusBadRequest},
 		{"bad point arity", "/v1/trajectories",
 			loadRequest{Trajectories: []Trajectory{{Points: [][]float64{{1}}}}}, http.StatusBadRequest},
-		{"empty query", "/v1/topk", topkRequest{K: 3}, http.StatusBadRequest},
+		{"empty query", "/v1/topk", topkRequest{K: 1}, http.StatusBadRequest},
 		{"unknown measure", "/v1/topk",
-			topkRequest{Query: Trajectory{Points: [][]float64{{0, 0}, {1, 1}}}, Measure: "nope"},
+			topkRequest{Query: Trajectory{Points: [][]float64{{0, 0}, {1, 1}}}, K: 1, Measure: "nope"},
 			http.StatusBadRequest},
 		{"unknown algorithm", "/v1/search",
 			searchRequest{
@@ -194,11 +196,11 @@ func TestBadRequests(t *testing.T) {
 	}
 	for _, tc := range cases {
 		resp := postJSON(t, ts.URL+tc.path, tc.body)
-		var e errorJSON
+		var e api.ErrorResponse
 		code := resp.StatusCode
 		decodeBody(t, resp, &e)
-		if code != tc.want || e.Error == "" {
-			t.Errorf("%s: status %d (want %d), error %q", tc.name, code, tc.want, e.Error)
+		if code != tc.want || e.Err.Code != api.CodeInvalidArgument || e.Err.Message == "" {
+			t.Errorf("%s: status %d (want %d), error %+v", tc.name, code, tc.want, e.Err)
 		}
 	}
 
@@ -231,15 +233,25 @@ func TestTopKDefaults(t *testing.T) {
 		load.Trajectories = append(load.Trajectories, toWire(randWalk(rng, 8)))
 	}
 	postJSON(t, ts.URL+"/v1/trajectories", load).Body.Close()
-	// k, measure and algorithm all default
-	resp := postJSON(t, ts.URL+"/v1/topk", topkRequest{Query: toWire(randWalk(rng, 4))})
+	// measure and algorithm default; k is required
+	resp := postJSON(t, ts.URL+"/v1/topk", topkRequest{Query: toWire(randWalk(rng, 4)), K: 6})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 	var tr topkResponse
 	decodeBody(t, resp, &tr)
-	if len(tr.Matches) == 0 || len(tr.Matches) > 10 {
-		t.Fatalf("%d matches with default k", len(tr.Matches))
+	if len(tr.Matches) != 6 {
+		t.Fatalf("%d matches with default measure/algorithm, want 6", len(tr.Matches))
+	}
+
+	// an omitted (or non-positive) k is a typed invalid_argument error, the
+	// same shape /v2 returns — there is no silent default ranking size
+	resp = postJSON(t, ts.URL+"/v1/topk", topkRequest{Query: toWire(randWalk(rng, 4))})
+	var er api.ErrorResponse
+	code := resp.StatusCode
+	decodeBody(t, resp, &er)
+	if code != http.StatusBadRequest || er.Err.Code != api.CodeInvalidArgument {
+		t.Fatalf("omitted k: status %d, error %+v", code, er.Err)
 	}
 
 	// an absurd timeout_ms must clamp to MaxTimeout, not overflow into an

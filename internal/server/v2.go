@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"simsub/api"
+	"simsub/internal/engine"
+)
+
+// This file holds the v2 endpoints, which speak the api package's wire
+// types natively: batched top-k queries, NDJSON match streaming, and
+// trajectory retrieval by global ID.
+
+// handleQuery answers POST /v2/query: a batch of specs fanned out across
+// the engine's worker pool, one QueryResult per spec in order. Spec-level
+// failures are reported inside their result; only envelope-level problems
+// (no specs, oversized batch, bad JSON) fail the request.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req api.Query
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "query batch has no specs"))
+		return
+	}
+	if len(req.Specs) > s.opts.MaxBatchSpecs {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument,
+			"batch of %d specs exceeds the limit of %d", len(req.Specs), s.opts.MaxBatchSpecs))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	req.TimeoutMS = 0 // already applied (and capped) by requestContext
+	resp, err := s.eng.Query(ctx, req)
+	if err != nil {
+		writeErr(w, api.FromError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQueryStream answers POST /v2/query/stream: one spec whose matches
+// are delivered as NDJSON StreamEvent records the moment they enter the
+// running top-k, each followed by a flush so clients see answers while the
+// scan is still running, terminated by a summary record carrying the
+// authoritative final ranking. Failures before the first record use the
+// ordinary error envelope and status; failures mid-stream arrive as a
+// trailing error record (the status line is long gone by then).
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req api.StreamQuery
+	if !decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	emit := func(m api.Match) error {
+		if err := enc.Encode(api.StreamEvent{Match: &m}); err != nil {
+			return err
+		}
+		wrote = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	sum, err := s.eng.QueryStream(ctx, req.Spec, emit)
+	if err != nil {
+		ae := api.FromError(err)
+		if !wrote {
+			writeErr(w, ae)
+			return
+		}
+		_ = enc.Encode(api.StreamEvent{Error: ae})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
+	}
+	_ = enc.Encode(api.StreamEvent{Summary: sum})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleGetTrajectory answers GET /v2/trajectories/{id} with the stored
+// trajectory, or a not_found typed error for an unassigned ID.
+func (s *Server) handleGetTrajectory(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "trajectory id %q is not an integer", r.PathValue("id")))
+		return
+	}
+	t, ok := s.eng.Traj(id)
+	if !ok {
+		writeErr(w, api.Errorf(api.CodeNotFound, "no trajectory with id %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.TrajectoryRecord{ID: id, Trajectory: api.FromTraj(t)})
+}
+
+// compile-time guarantee that the engine backing this server satisfies the
+// interfaces the client package mirrors
+var _ api.StreamSearcher = (*engine.Engine)(nil)

@@ -32,6 +32,8 @@ package simsub
 import (
 	"math/rand"
 
+	"simsub/api"
+	"simsub/client"
 	"simsub/internal/core"
 	"simsub/internal/engine"
 	"simsub/internal/geo"
@@ -77,13 +79,65 @@ type (
 	EngineConfig = engine.Config
 	// EngineIndexKind selects an Engine's per-shard pruning structure.
 	EngineIndexKind = engine.IndexKind
-	// EngineQuery is one top-k request against an Engine.
+	// EngineQuery is one top-k request against an Engine: the full v2
+	// query spec (measure/algorithm parameters, spatial filter, distinct
+	// collapsing, offset/limit paging).
 	EngineQuery = engine.Query
+	// EngineParams carries per-query measure/algorithm parameter
+	// overrides (EDR/LCSS eps, CDTW band, POS-D delay).
+	EngineParams = engine.Params
 	// EngineMatch is one ranked Engine answer, identified by global ID.
 	EngineMatch = engine.Match
 	// EngineStats is a snapshot of Engine counters.
 	EngineStats = engine.Stats
+
+	// Searcher answers batched v2 queries; *Engine (in-process) and
+	// *Client (remote) both satisfy it, so local and remote search are
+	// interchangeable.
+	Searcher = api.Searcher
+	// StreamSearcher additionally delivers one query's matches
+	// incrementally; *Engine and *Client both satisfy it.
+	StreamSearcher = api.StreamSearcher
+	// Client is the HTTP client of a simsubd server (package client).
+	Client = client.Client
+	// APIQuery is the wire form of a /v2/query batch.
+	APIQuery = api.Query
+	// APIQuerySpec is the wire form of one top-k query spec.
+	APIQuerySpec = api.QuerySpec
+	// APIMatch is the wire form of one ranked answer.
+	APIMatch = api.Match
+	// APIQueryResponse answers a /v2/query batch, one result per spec.
+	APIQueryResponse = api.QueryResponse
+	// APIQueryResult is one spec's outcome within a batch.
+	APIQueryResult = api.QueryResult
+	// APITrajectory is the wire form of a trajectory.
+	APITrajectory = api.Trajectory
+	// APIRect is the wire form of a spatial filter rectangle.
+	APIRect = api.Rect
+	// APIStreamSummary is the trailing record of a match stream.
+	APIStreamSummary = api.StreamSummary
+	// APIError is the typed error of the query API; branch on its Code.
+	APIError = api.Error
+	// APIErrorCode classifies an APIError ("invalid_argument", ...).
+	APIErrorCode = api.Code
 )
+
+// Typed API error codes (see api.Code).
+const (
+	ErrInvalidArgument = api.CodeInvalidArgument
+	ErrNotFound        = api.CodeNotFound
+	ErrTimeout         = api.CodeTimeout
+	ErrCanceled        = api.CodeCanceled
+	ErrOverloaded      = api.CodeOverloaded
+	ErrTooLarge        = api.CodeTooLarge
+	ErrInternal        = api.CodeInternal
+)
+
+// NewClient builds the HTTP client of a simsubd server; the result
+// satisfies the same Searcher interface as an in-process Engine.
+func NewClient(baseURL string, opts ...client.Option) *Client {
+	return client.New(baseURL, opts...)
+}
 
 // New builds a trajectory from points.
 func New(pts ...Point) Trajectory { return traj.New(pts...) }
