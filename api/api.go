@@ -208,6 +208,15 @@ type Stats struct {
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
 	InFlight     int64 `json:"in_flight"`
+	// Pruning effectiveness of the threshold pipeline, cumulative across
+	// served scans: candidates considered after index/filter pruning, those
+	// dropped by the lower-bound cascade before any DP ran, and those whose
+	// search was abandoned against the running k-th-best distance. The
+	// remainder (CandidatesSeen - LBSkipped - EarlyAbandoned) were scored
+	// in full. Cache hits perform no scan and advance no counter.
+	CandidatesSeen int64 `json:"candidates_seen"`
+	LBSkipped      int64 `json:"lb_skipped"`
+	EarlyAbandoned int64 `json:"early_abandoned"`
 }
 
 // StatsResponse answers GET /v1/stats and GET /v2/stats.

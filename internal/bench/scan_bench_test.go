@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"simsub/internal/core"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// Scan hot-path benchmarks: pruned (threshold pipeline) versus unpruned
+// top-k scans over a 1000-trajectory store, k=10. Besides the usual
+// testing.B metrics, every run records ns/op, allocs/op and prune ratios
+// into BENCH_scan.json (override the path with BENCH_SCAN_OUT) so CI can
+// diff the hot path machine-readably:
+//
+//	go test ./internal/bench -run '^$' -bench BenchmarkScan -benchtime 1x
+
+type scanBenchResult struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	Candidates     int64   `json:"candidates"`
+	LBSkipped      int64   `json:"lb_skipped"`
+	EarlyAbandoned int64   `json:"early_abandoned"`
+	PruneRatio     float64 `json:"prune_ratio"`
+}
+
+var (
+	scanMu      sync.Mutex
+	scanResults = map[string]scanBenchResult{}
+)
+
+// unprunedScanTopK is the pre-threshold-pipeline scan: every candidate
+// fully searched, heap-selected.
+func unprunedScanTopK(db *core.Database, alg core.Algorithm, q traj.Trajectory, k int) []core.Match {
+	var all []core.Match
+	_ = db.ScanFilteredCtx(context.Background(), alg, q, nil, func(m core.Match) error {
+		all = append(all, m)
+		return nil
+	})
+	sort.Slice(all, func(i, j int) bool {
+		return core.RankBefore(all[i].Result.Dist, all[i].TrajIndex, all[i].Result.Interval,
+			all[j].Result.Dist, all[j].TrajIndex, all[j].Result.Interval)
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func benchScan(b *testing.B, measure, algorithm string, pruned bool) {
+	m, err := sim.ByName(measure)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, ok := core.AlgorithmFor(algorithm, m)
+	if !ok {
+		b.Fatalf("unknown algorithm %q", algorithm)
+	}
+	db := core.NewDatabase(servingData(1000, 24, 7), false)
+	q := servingData(1, 9, 8)[0]
+	const k = 10
+
+	var st core.PruneStats
+	var m0, m1 runtime.MemStats
+	b.ReportAllocs()
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pruned {
+			if _, err := db.TopKPrunedCtx(context.Background(), alg, q, k, nil, nil, &st); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			unprunedScanTopK(db, alg, q, k)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+
+	res := scanBenchResult{
+		NsPerOp:        float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		AllocsPerOp:    float64(m1.Mallocs-m0.Mallocs) / float64(b.N),
+		Candidates:     st.Candidates,
+		LBSkipped:      st.LBSkipped,
+		EarlyAbandoned: st.Abandoned,
+	}
+	if st.Candidates > 0 {
+		res.PruneRatio = float64(st.LBSkipped+st.Abandoned) / float64(st.Candidates)
+		b.ReportMetric(res.PruneRatio, "pruned/cand")
+	}
+	mode := "unpruned"
+	if pruned {
+		mode = "pruned"
+	}
+	scanMu.Lock()
+	scanResults[fmt.Sprintf("%s/%s/%s", measure, algorithm, mode)] = res
+	scanMu.Unlock()
+}
+
+func BenchmarkScan(b *testing.B) {
+	for _, tc := range []struct{ measure, algorithm string }{
+		{"dtw", "exacts"}, {"dtw", "pss"}, {"frechet", "exacts"}, {"edr", "pss"},
+	} {
+		for _, mode := range []string{"unpruned", "pruned"} {
+			b.Run(fmt.Sprintf("%s/%s/%s", tc.measure, tc.algorithm, mode), func(b *testing.B) {
+				benchScan(b, tc.measure, tc.algorithm, mode == "pruned")
+			})
+		}
+	}
+}
+
+// writeScanJSON dumps the collected scan benchmark results; called from
+// TestMain so a single file covers every sub-benchmark of the run.
+func writeScanJSON() {
+	scanMu.Lock()
+	defer scanMu.Unlock()
+	if len(scanResults) == 0 {
+		return
+	}
+	path := os.Getenv("BENCH_SCAN_OUT")
+	if path == "" {
+		path = "BENCH_scan.json"
+	}
+	data, err := json.MarshalIndent(scanResults, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal scan results: %v\n", err)
+		return
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("scan benchmark results written to %s\n", path)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	writeScanJSON()
+	os.Exit(code)
+}

@@ -68,8 +68,14 @@ func (ExactS) Name() string { return "ExactS" }
 func (a ExactS) Search(t, q traj.Trajectory) Result {
 	n := t.Len()
 	best := Result{Dist: math.Inf(1)}
+	if n == 0 {
+		return best
+	}
+	// one computer re-Init-ed per start, so the enumeration performs no
+	// per-start allocations (Init begins a fresh scan)
+	inc := a.M.NewIncremental(t, q)
+	defer sim.Release(inc)
 	for i := 0; i < n; i++ {
-		inc := a.M.NewIncremental(t, q)
 		d := inc.Init(i)
 		best.Explored++
 		if d < best.Dist {
@@ -120,11 +126,12 @@ func (a SizeS) Search(t, q traj.Trajectory) Result {
 			Explored: 1,
 		}
 	}
+	inc := a.M.NewIncremental(t, q)
+	defer sim.Release(inc)
 	for i := 0; i < n; i++ {
 		if i+lo-1 >= n {
 			break // even the shortest allowed subtrajectory no longer fits
 		}
-		inc := a.M.NewIncremental(t, q)
 		d := inc.Init(i)
 		best.Explored++
 		if lo == 1 && d < best.Dist {
@@ -157,16 +164,26 @@ func (PSS) Name() string { return "PSS" }
 
 // Search implements Algorithm.
 func (a PSS) Search(t, q traj.Trajectory) Result {
-	n := t.Len()
 	suf := sim.SuffixDists(a.M, t, q) // lines 2-3 of Algorithm 2
+	return pssScan(a.M, t, q, suf)
+}
+
+// pssScan is the prefix scan of Algorithm 2 over precomputed suffix
+// distances; the threshold-aware search path shares it, supplying suffix
+// state built from the store's cached reversals.
+func pssScan(m sim.Measure, t, q traj.Trajectory, suf []float64) Result {
+	n := t.Len()
 	best := Result{Dist: math.Inf(1)}
 	best.Explored = n // the suffix computations
+	if n == 0 {
+		return best
+	}
+	inc := m.NewIncremental(t, q)
+	defer sim.Release(inc)
 	h := 0
-	var inc sim.Incremental
 	var dPre float64
 	for i := 0; i < n; i++ {
 		if i == h {
-			inc = a.M.NewIncremental(t, q)
 			dPre = inc.Init(i)
 		} else {
 			dPre = inc.Extend()
@@ -223,12 +240,15 @@ func (a POSD) Search(t, q traj.Trajectory) Result {
 func posSearch(m sim.Measure, t, q traj.Trajectory, delay int) Result {
 	n := t.Len()
 	best := Result{Dist: math.Inf(1)}
+	if n == 0 {
+		return best
+	}
+	inc := m.NewIncremental(t, q)
+	defer sim.Release(inc)
 	h := 0
-	var inc sim.Incremental
 	var dPre float64
 	for i := 0; i < n; i++ {
 		if i == h {
-			inc = m.NewIncremental(t, q)
 			dPre = inc.Init(i)
 		} else {
 			dPre = inc.Extend()

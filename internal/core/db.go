@@ -20,7 +20,8 @@ import (
 // (and never did for DTW/Fréchet in its experiments).
 type Database struct {
 	trajs []traj.Trajectory
-	mbrs  []geo.Rect // per-trajectory MBRs, precomputed for filter pushdown
+	mbrs  []geo.Rect        // per-trajectory MBRs, precomputed for filter pushdown
+	revs  []traj.Trajectory // per-trajectory reversals, precomputed for suffix-state scans
 	tree  *index.RTree
 	grid  *index.GridIndex
 }
@@ -48,9 +49,17 @@ func NewDatabase(ts []traj.Trajectory, withIndex bool) *Database {
 
 // NewDatabaseIndexed builds a database with the chosen index kind.
 func NewDatabaseIndexed(ts []traj.Trajectory, kind IndexKind) *Database {
-	db := &Database{trajs: ts, mbrs: make([]geo.Rect, len(ts))}
+	db := &Database{
+		trajs: ts,
+		mbrs:  make([]geo.Rect, len(ts)),
+		revs:  make([]traj.Trajectory, len(ts)),
+	}
 	for i, t := range ts {
+		// insert-time metadata: the MBR feeds filter pushdown and the
+		// lower-bound cascade, the reversal feeds PSS/RLS suffix state —
+		// both were previously recomputed per query per trajectory
 		db.mbrs[i] = t.MBR()
+		db.revs[i] = t.Reverse()
 	}
 	switch kind {
 	case RTreeIndex:
@@ -70,6 +79,11 @@ func (db *Database) Len() int { return len(db.trajs) }
 
 // Traj returns the i-th data trajectory.
 func (db *Database) Traj(i int) traj.Trajectory { return db.trajs[i] }
+
+// Meta returns the i-th trajectory's precomputed scan metadata.
+func (db *Database) Meta(i int) TrajMeta {
+	return TrajMeta{N: db.trajs[i].Len(), MBR: db.mbrs[i], Rev: db.revs[i]}
+}
 
 // HasIndex reports whether a pruning index was built.
 func (db *Database) HasIndex() bool { return db.tree != nil || db.grid != nil }
@@ -191,16 +205,11 @@ func (db *Database) TopKCtx(ctx context.Context, alg Algorithm, q traj.Trajector
 }
 
 // TopKFilteredCtx is TopKCtx restricted to trajectories whose MBR
-// intersects filter (nil = unrestricted).
+// intersects filter (nil = unrestricted). It prunes against its own
+// running k-th-best distance (see prune.go); the ranking is byte-identical
+// to the unpruned scan's.
 func (db *Database) TopKFilteredCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int, filter *geo.Rect) ([]Match, error) {
-	h := topKHeap{k: k}
-	if err := db.ScanFilteredCtx(ctx, alg, q, filter, func(m Match) error {
-		h.offer(m)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return h.sorted(), nil
+	return db.TopKPrunedCtx(ctx, alg, q, k, filter, nil, nil)
 }
 
 // ScanFilteredCtx runs the algorithm over every pruned (and, with a
@@ -235,6 +244,11 @@ func (db *Database) TopKParallel(alg Algorithm, q traj.Trajectory, k, workers in
 // TopKParallelCtx is TopKParallel with cancellation: every worker checks
 // the context before starting each per-trajectory search and stops early
 // when it is done. On cancellation it returns (nil, ctx.Err()).
+//
+// Workers share the running global k-th-best distance (a SharedKth, see
+// prune.go), so each per-trajectory search prunes against the best bound
+// any worker has established; pruned candidates are exactly those provably
+// outside the final top-k, keeping the ranking byte-identical.
 func (db *Database) TopKParallelCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k, workers int) ([]Match, error) {
 	cands := db.Candidates(q)
 	if workers <= 0 {
@@ -246,6 +260,11 @@ func (db *Database) TopKParallelCtx(ctx context.Context, alg Algorithm, q traj.T
 	if workers <= 1 {
 		return db.TopKCtx(ctx, alg, q, k)
 	}
+	ts, threshold := alg.(ThresholdSearcher)
+	var shared *SharedKth
+	if threshold {
+		shared = NewSharedKth(k)
+	}
 	matches := make([]Match, len(cands))
 	valid := make([]bool, len(cands))
 	var wg sync.WaitGroup
@@ -254,6 +273,11 @@ func (db *Database) TopKParallelCtx(ctx context.Context, alg Algorithm, q traj.T
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var search ThresholdSearch
+			if threshold {
+				search = ts.NewThresholdSearch(q)
+				defer search.Release()
+			}
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(cands) {
@@ -263,7 +287,18 @@ func (db *Database) TopKParallelCtx(ctx context.Context, alg Algorithm, q traj.T
 				if t.Len() == 0 {
 					continue
 				}
-				matches[i] = Match{TrajIndex: cands[i], Result: alg.Search(t, q)}
+				var r Result
+				if threshold {
+					var pruned Pruned
+					r, pruned = search.Search(t, db.Meta(cands[i]), shared.Threshold())
+					if pruned != NotPruned {
+						continue
+					}
+					shared.Offer(r.Dist)
+				} else {
+					r = alg.Search(t, q)
+				}
+				matches[i] = Match{TrajIndex: cands[i], Result: r}
 				valid[i] = true
 			}
 		}()

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"simsub/internal/geo"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// This file is the best-so-far threshold pipeline: the running k-th-best
+// distance of a top-k scan flows down into each per-trajectory search,
+// where it prunes at three levels —
+//
+//	candidate  the measure's lower-bound cascade (sim.SubtrajLowerBounder)
+//	           drops a trajectory before any DP runs;
+//	kernel     sim.ThresholdIncremental abandons a DP scan once no
+//	           extension can beat the threshold;
+//	result     a completed search whose best distance exceeds the
+//	           threshold is suppressed instead of offered.
+//
+// Correctness invariant (see DESIGN.md): pruning only ever uses STRICT
+// comparisons against provable lower bounds of what the unpruned search
+// would report. The running k-th-best distance never increases, so a
+// candidate pruned against a stale (larger) threshold is pruned a
+// fortiori, and equal-distance candidates — which deterministic
+// tie-breaking may rank into the top-k — are never pruned. Rankings are
+// therefore byte-identical to the unpruned scan. Threshold-aware exact
+// searches report Explored as the logical candidate count of the unpruned
+// enumeration (a deterministic value); the physical work saved is exposed
+// through PruneStats instead.
+
+// TrajMeta is per-trajectory metadata precomputed at insert time and handed
+// to threshold-aware searches, so the scan hot path neither re-derives MBRs
+// nor re-allocates reversals.
+type TrajMeta struct {
+	// N is the trajectory's point count.
+	N int
+	// MBR is the trajectory's minimum bounding rectangle.
+	MBR geo.Rect
+	// Rev is the reversed trajectory (suffix-state scans run over it).
+	Rev traj.Trajectory
+}
+
+// Thresholder yields a scan's current best-so-far bound: the running
+// k-th-best distance, +Inf until k matches have been retained. It must be
+// safe for concurrent use.
+type Thresholder interface {
+	Threshold() float64
+}
+
+// NoThreshold is the Thresholder that never prunes.
+var NoThreshold Thresholder = infThresholder{}
+
+type infThresholder struct{}
+
+func (infThresholder) Threshold() float64 { return math.Inf(1) }
+
+// PruneStats counts the pruning outcomes of one scan. Candidates is every
+// non-empty trajectory considered after index/filter pruning; each is
+// either LB-skipped (lower-bound cascade, no DP), abandoned (DP started but
+// nothing beat the threshold), or scored (a match reached the heap offer).
+type PruneStats struct {
+	Candidates int64
+	LBSkipped  int64
+	Abandoned  int64
+	Scored     int64
+}
+
+// Add accumulates o into s.
+func (s *PruneStats) Add(o PruneStats) {
+	s.Candidates += o.Candidates
+	s.LBSkipped += o.LBSkipped
+	s.Abandoned += o.Abandoned
+	s.Scored += o.Scored
+}
+
+// Pruned reports how a threshold-aware search disposed of a candidate.
+type Pruned uint8
+
+// Candidate outcomes of ThresholdSearch.Search.
+const (
+	// NotPruned: the search completed and its Result is the exact answer
+	// the unpruned Search would have returned.
+	NotPruned Pruned = iota
+	// PrunedLB: the lower-bound cascade proved every subtrajectory's
+	// distance strictly exceeds tau before any DP ran.
+	PrunedLB
+	// PrunedAbandon: the search ran but everything it could report has
+	// distance strictly greater than tau; the Result is meaningless.
+	PrunedAbandon
+)
+
+// ThresholdSearcher is an Algorithm that can exploit a best-so-far
+// threshold. NewThresholdSearch returns per-query search state — the
+// measure's lower-bound cascade, the reversed query, pooled scratch —
+// reused across every candidate of a scan. The returned ThresholdSearch is
+// single-goroutine; concurrent scans create one per worker.
+type ThresholdSearcher interface {
+	Algorithm
+	NewThresholdSearch(q traj.Trajectory) ThresholdSearch
+}
+
+// ThresholdSearch is the per-query form of a threshold-aware search.
+type ThresholdSearch interface {
+	// Search is Algorithm.Search with pruning against tau. When the
+	// returned outcome is NotPruned, Result is byte-identical (interval
+	// and distance; Explored is the deterministic logical count) to the
+	// unpruned Search. Otherwise every subtrajectory the unpruned search
+	// could have reported has distance strictly greater than tau and the
+	// Result must be discarded. meta must describe t (Database.Meta).
+	Search(t traj.Trajectory, meta TrajMeta, tau float64) (Result, Pruned)
+	// Release returns pooled scratch; the search is unusable afterwards.
+	Release()
+}
+
+// lbFor builds the measure's per-query lower-bound cascade when it has one.
+func lbFor(m sim.Measure, q traj.Trajectory) sim.SubtrajLB {
+	if b, ok := m.(sim.SubtrajLowerBounder); ok {
+		return b.NewSubtrajLB(q)
+	}
+	return nil
+}
+
+// lbPrunes reports whether the cascade proves every subtrajectory of t is
+// strictly farther than tau.
+func lbPrunes(lb sim.SubtrajLB, t traj.Trajectory, meta TrajMeta, tau float64) bool {
+	if lb == nil || math.IsInf(tau, 1) {
+		return false
+	}
+	mbr := meta.MBR
+	if meta.N != t.Len() {
+		// defensive: zero-value meta falls back to a fresh MBR
+		mbr = t.MBR()
+	}
+	return lb.LowerBound(t, mbr, tau) > tau
+}
+
+// exactThresholdSearch implements ThresholdSearch for ExactS: the full
+// enumeration with the lower-bound cascade in front and early-abandoning
+// inner scans. Per start index i, abandoning skips only evaluations the
+// kernel proved strictly worse than min(local best, tau), so the first
+// minimizer — interval tie-breaking included — is exactly the unpruned
+// one whenever the trajectory's true best is within tau.
+type exactThresholdSearch struct {
+	m  sim.Measure
+	q  traj.Trajectory
+	lb sim.SubtrajLB
+}
+
+// NewThresholdSearch implements ThresholdSearcher.
+func (a ExactS) NewThresholdSearch(q traj.Trajectory) ThresholdSearch {
+	return &exactThresholdSearch{m: a.M, q: q, lb: lbFor(a.M, q)}
+}
+
+func (s *exactThresholdSearch) Search(t traj.Trajectory, meta TrajMeta, tau float64) (Result, Pruned) {
+	if lbPrunes(s.lb, t, meta, tau) {
+		return Result{}, PrunedLB
+	}
+	n := t.Len()
+	best := Result{Dist: math.Inf(1)}
+	inc := s.m.NewIncremental(t, s.q)
+	defer sim.Release(inc)
+	tinc, _ := inc.(sim.ThresholdIncremental)
+	for i := 0; i < n; i++ {
+		d := inc.Init(i)
+		if d < best.Dist {
+			best.Dist = d
+			best.Interval = traj.Interval{I: i, J: i}
+		}
+		bsf := math.Min(best.Dist, tau)
+		for j := i + 1; j < n; j++ {
+			if tinc != nil {
+				var abandoned bool
+				d, abandoned = tinc.ExtendAbandoning(bsf)
+				if abandoned {
+					break
+				}
+			} else {
+				d = inc.Extend()
+			}
+			if d < best.Dist {
+				best.Dist = d
+				best.Interval = traj.Interval{I: i, J: j}
+				bsf = math.Min(best.Dist, tau)
+			}
+		}
+	}
+	// the logical candidate count, not the evaluations performed — see the
+	// determinism note in the file comment
+	best.Explored = n * (n + 1) / 2
+	if best.Dist > tau {
+		return best, PrunedAbandon
+	}
+	return best, NotPruned
+}
+
+func (s *exactThresholdSearch) Release() {}
+
+// sizeThresholdSearch is exactThresholdSearch restricted to SizeS's
+// [m-ξ, m+ξ] length window.
+type sizeThresholdSearch struct {
+	m  sim.Measure
+	xi int
+	q  traj.Trajectory
+	lb sim.SubtrajLB
+}
+
+// NewThresholdSearch implements ThresholdSearcher.
+func (a SizeS) NewThresholdSearch(q traj.Trajectory) ThresholdSearch {
+	return &sizeThresholdSearch{m: a.M, xi: a.Xi, q: q, lb: lbFor(a.M, q)}
+}
+
+func (s *sizeThresholdSearch) Search(t traj.Trajectory, meta TrajMeta, tau float64) (Result, Pruned) {
+	if lbPrunes(s.lb, t, meta, tau) {
+		return Result{}, PrunedLB
+	}
+	n, m := t.Len(), s.q.Len()
+	lo := m - s.xi
+	if lo < 1 {
+		lo = 1
+	}
+	hi := m + s.xi
+	if lo > n {
+		// whole-trajectory fallback, exactly as the unpruned search
+		r := Result{
+			Interval: traj.Interval{I: 0, J: n - 1},
+			Dist:     s.m.Dist(t, s.q),
+			Explored: 1,
+		}
+		if r.Dist > tau {
+			return r, PrunedAbandon
+		}
+		return r, NotPruned
+	}
+	best := Result{Dist: math.Inf(1)}
+	inc := s.m.NewIncremental(t, s.q)
+	defer sim.Release(inc)
+	tinc, _ := inc.(sim.ThresholdIncremental)
+	explored := 0
+	for i := 0; i < n; i++ {
+		if i+lo-1 >= n {
+			break
+		}
+		d := inc.Init(i)
+		explored++
+		if lo == 1 && d < best.Dist {
+			best.Dist = d
+			best.Interval = traj.Interval{I: i, J: i}
+		}
+		bsf := math.Min(best.Dist, tau)
+		// the unpruned search evaluates j up to min(n-1, i+hi-1); count
+		// them all so Explored stays the deterministic logical size
+		top := i + hi - 1
+		if top > n-1 {
+			top = n - 1
+		}
+		explored += top - i
+		for j := i + 1; j <= top; j++ {
+			if tinc != nil {
+				var abandoned bool
+				d, abandoned = tinc.ExtendAbandoning(bsf)
+				if abandoned {
+					break
+				}
+			} else {
+				d = inc.Extend()
+			}
+			if j-i+1 >= lo && d < best.Dist {
+				best.Dist = d
+				best.Interval = traj.Interval{I: i, J: j}
+				bsf = math.Min(best.Dist, tau)
+			}
+		}
+	}
+	best.Explored = explored
+	if best.Dist > tau {
+		return best, PrunedAbandon
+	}
+	return best, NotPruned
+}
+
+func (s *sizeThresholdSearch) Release() {}
+
+// splitThresholdSearch implements ThresholdSearch for the splitting family
+// (PSS, POS, POS-D). Splitting decisions depend on every prefix/suffix
+// value the scan sees, so the inner DP cannot abandon without changing the
+// answer; the threshold instead gates the whole candidate through the
+// lower-bound cascade — valid because every split the algorithms report is
+// a genuine subtrajectory, whose distance the cascade bounds from below —
+// and suppresses completed results beyond tau. Suffix state reuses the
+// store's precomputed reversal, the reversed query computed once per scan,
+// and a scratch buffer reused across candidates.
+type splitThresholdSearch struct {
+	m      sim.Measure
+	suffix bool // PSS: scan suffixes as well as prefixes
+	delay  int  // POS-D split delay
+	q      traj.Trajectory
+	qRev   traj.Trajectory
+	lb     sim.SubtrajLB
+	suf    []float64
+}
+
+// NewThresholdSearch implements ThresholdSearcher.
+func (a PSS) NewThresholdSearch(q traj.Trajectory) ThresholdSearch {
+	return &splitThresholdSearch{m: a.M, suffix: true, q: q, qRev: q.Reverse(), lb: lbFor(a.M, q)}
+}
+
+// NewThresholdSearch implements ThresholdSearcher.
+func (a POS) NewThresholdSearch(q traj.Trajectory) ThresholdSearch {
+	return &splitThresholdSearch{m: a.M, q: q, lb: lbFor(a.M, q)}
+}
+
+// NewThresholdSearch implements ThresholdSearcher.
+func (a POSD) NewThresholdSearch(q traj.Trajectory) ThresholdSearch {
+	return &splitThresholdSearch{m: a.M, delay: a.D, q: q, lb: lbFor(a.M, q)}
+}
+
+func (s *splitThresholdSearch) Search(t traj.Trajectory, meta TrajMeta, tau float64) (Result, Pruned) {
+	if lbPrunes(s.lb, t, meta, tau) {
+		return Result{}, PrunedLB
+	}
+	var r Result
+	if s.suffix {
+		tr := meta.Rev
+		if tr.Len() != t.Len() {
+			tr = t.Reverse() // defensive: zero-value meta
+		}
+		s.suf = sim.SuffixDistsInto(s.suf, s.m, tr, s.qRev)
+		r = pssScan(s.m, t, s.q, s.suf)
+	} else {
+		r = posSearch(s.m, t, s.q, s.delay)
+	}
+	if r.Dist > tau {
+		return r, PrunedAbandon
+	}
+	return r, NotPruned
+}
+
+func (s *splitThresholdSearch) Release() {}
+
+// heapThresholder folds a scan's own top-k heap root together with an
+// optional external (engine-global) threshold.
+type heapThresholder struct {
+	h      *topKHeap
+	extern Thresholder
+}
+
+func (ht *heapThresholder) Threshold() float64 {
+	tau := math.Inf(1)
+	if ht.extern != nil {
+		tau = ht.extern.Threshold()
+	}
+	if ht.h.k > 0 && len(ht.h.ms) == ht.h.k {
+		if r := ht.h.ms[0].Result.Dist; r < tau {
+			tau = r
+		}
+	}
+	return tau
+}
+
+// SharedKth is the engine-global best-so-far: a bounded max-heap of the k
+// smallest distances offered so far across every shard worker, publishing
+// its k-th-best through an atomic so scan loops read it without locking.
+// The zero value is unusable; use NewSharedKth.
+type SharedKth struct {
+	mu    sync.Mutex
+	k     int
+	dists []float64
+	bits  atomic.Uint64
+}
+
+// NewSharedKth builds a SharedKth for rankings of size k.
+func NewSharedKth(k int) *SharedKth {
+	s := &SharedKth{k: k}
+	s.bits.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+// Offer feeds one match distance into the shared top-k.
+func (s *SharedKth) Offer(d float64) {
+	if s.k <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case len(s.dists) < s.k:
+		s.dists = append(s.dists, d)
+		s.up(len(s.dists) - 1)
+	case d < s.dists[0]:
+		s.dists[0] = d
+		s.down(0)
+	default:
+		return
+	}
+	if len(s.dists) == s.k {
+		s.bits.Store(math.Float64bits(s.dists[0]))
+	}
+}
+
+// Threshold implements Thresholder: the current k-th best distance, +Inf
+// until k offers have arrived.
+func (s *SharedKth) Threshold() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+func (s *SharedKth) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.dists[p] >= s.dists[i] {
+			break
+		}
+		s.dists[p], s.dists[i] = s.dists[i], s.dists[p]
+		i = p
+	}
+}
+
+func (s *SharedKth) down(i int) {
+	n := len(s.dists)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && s.dists[l] > s.dists[big] {
+			big = l
+		}
+		if r < n && s.dists[r] > s.dists[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		s.dists[i], s.dists[big] = s.dists[big], s.dists[i]
+		i = big
+	}
+}
+
+// ScanPrunedCtx is ScanFilteredCtx with the threshold pipeline: candidates
+// whose lower bound beats the threshold are skipped, per-trajectory
+// searches abandon against it, and fn only sees matches that could still
+// enter a top-k whose k-th-best distance is th.Threshold(). Algorithms
+// that do not implement ThresholdSearcher are scanned unpruned. st, when
+// non-nil, receives the scan's pruning counters; it is not synchronized.
+func (db *Database) ScanPrunedCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, filter *geo.Rect, th Thresholder, st *PruneStats, fn func(Match) error) error {
+	if st == nil {
+		st = &PruneStats{}
+	}
+	if th == nil {
+		th = NoThreshold
+	}
+	ts, ok := alg.(ThresholdSearcher)
+	if !ok {
+		return db.ScanFilteredCtx(ctx, alg, q, filter, func(m Match) error {
+			st.Candidates++
+			st.Scored++
+			return fn(m)
+		})
+	}
+	search := ts.NewThresholdSearch(q)
+	defer search.Release()
+	for _, ci := range db.CandidatesFiltered(q, filter) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t := db.trajs[ci]
+		if t.Len() == 0 {
+			continue
+		}
+		st.Candidates++
+		r, pruned := search.Search(t, db.Meta(ci), th.Threshold())
+		switch pruned {
+		case PrunedLB:
+			st.LBSkipped++
+			continue
+		case PrunedAbandon:
+			st.Abandoned++
+			continue
+		}
+		st.Scored++
+		if err := fn(Match{TrajIndex: ci, Result: r}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TopKPrunedCtx is TopKFilteredCtx with the threshold pipeline: the scan
+// prunes against its own running k-th best, tightened by the global
+// k-th-best published through shared when non-nil (the engine passes one
+// SharedKth across all shard workers). Every scored match is offered to
+// shared so concurrent scans tighten each other. The ranking is
+// byte-identical to the unpruned scan's.
+func (db *Database) TopKPrunedCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *SharedKth, st *PruneStats) ([]Match, error) {
+	h := topKHeap{k: k}
+	var extern Thresholder
+	if shared != nil {
+		extern = shared
+	}
+	th := heapThresholder{h: &h, extern: extern}
+	if err := db.ScanPrunedCtx(ctx, alg, q, filter, &th, st, func(m Match) error {
+		h.offer(m)
+		if shared != nil {
+			shared.Offer(m.Result.Dist)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return h.sorted(), nil
+}

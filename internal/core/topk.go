@@ -73,16 +73,53 @@ func (h *resultHeap) sorted() []Result {
 
 func overlaps(a, b traj.Interval) bool { return a.I <= b.J && b.I <= a.J }
 
+// threshold returns the heap's current k-th best distance, +Inf while it
+// is not yet full. An offer can only change the heap when its distance is
+// strictly below this (a full heap replaces on strict <, and a distinct-
+// mode overlap replacement needs to beat the held item, whose distance is
+// at most the root's), so evaluations provably above it are skippable
+// without changing the final ranking.
+func (h *resultHeap) threshold() float64 {
+	if h.k > 0 && len(h.items) == h.k {
+		return h.items[0].Dist
+	}
+	return math.Inf(1)
+}
+
 // TopKExact returns the k most similar subtrajectories of t to q in
 // ascending distance order, by exact enumeration with incremental
 // computation — the same O(n·(Φini + n·Φinc)) cost as ExactS. With
 // distinct, overlapping answers are collapsed to the best representative,
 // which is usually what applications (e.g. play retrieval) want.
+// Once the heap fills, inner scans abandon through sim.ThresholdIncremental
+// against its k-th-best distance: the skipped evaluations are provably
+// strictly worse than every retained result, so the ranking is byte-
+// identical to the full enumeration.
 func TopKExact(m sim.Measure, t, q traj.Trajectory, k int, distinct bool) []Result {
 	h := &resultHeap{k: k, distinct: distinct}
-	sim.AllSubDists(m, t, q, func(i, j int, d float64) {
-		h.offer(Result{Interval: traj.Interval{I: i, J: j}, Dist: d})
-	})
+	n := t.Len()
+	if n == 0 || k <= 0 {
+		return h.sorted()
+	}
+	inc := m.NewIncremental(t, q)
+	defer sim.Release(inc)
+	tinc, _ := inc.(sim.ThresholdIncremental)
+	for i := 0; i < n; i++ {
+		h.offer(Result{Interval: traj.Interval{I: i, J: i}, Dist: inc.Init(i)})
+		for j := i + 1; j < n; j++ {
+			var d float64
+			if tinc != nil {
+				var abandoned bool
+				d, abandoned = tinc.ExtendAbandoning(h.threshold())
+				if abandoned {
+					break
+				}
+			} else {
+				d = inc.Extend()
+			}
+			h.offer(Result{Interval: traj.Interval{I: i, J: j}, Dist: d})
+		}
+	}
 	return h.sorted()
 }
 
@@ -99,11 +136,11 @@ func TopKSplit(m sim.Measure, t, q traj.Trajectory, k int, distinct bool) []Resu
 	h := &resultHeap{k: k, distinct: distinct}
 	bestDist := math.Inf(1)
 	start := 0
-	var inc sim.Incremental
+	inc := m.NewIncremental(t, q)
+	defer sim.Release(inc)
 	var dPre float64
 	for i := 0; i < n; i++ {
 		if i == start {
-			inc = m.NewIncremental(t, q)
 			dPre = inc.Init(i)
 		} else {
 			dPre = inc.Extend()

@@ -129,17 +129,25 @@ type Match struct {
 	Result core.Result
 }
 
-// Stats is a point-in-time snapshot of engine counters.
+// Stats is a point-in-time snapshot of engine counters. The pruning
+// counters aggregate the threshold pipeline's per-query work disposal
+// across all served scans: of CandidatesSeen trajectories surviving
+// index/filter pruning, LBSkipped were dropped by the lower-bound cascade
+// before any DP ran, EarlyAbandoned ran a search that proved nothing could
+// enter the ranking, and the remainder were scored in full.
 type Stats struct {
-	Trajectories int   `json:"trajectories"`
-	Points       int   `json:"points"`
-	Shards       int   `json:"shards"`
-	Workers      int   `json:"workers"`
-	Queries      int64 `json:"queries"`
-	CacheHits    int64 `json:"cache_hits"`
-	CacheMisses  int64 `json:"cache_misses"`
-	CacheEntries int   `json:"cache_entries"`
-	InFlight     int64 `json:"in_flight"`
+	Trajectories   int   `json:"trajectories"`
+	Points         int   `json:"points"`
+	Shards         int   `json:"shards"`
+	Workers        int   `json:"workers"`
+	Queries        int64 `json:"queries"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	InFlight       int64 `json:"in_flight"`
+	CandidatesSeen int64 `json:"candidates_seen"`
+	LBSkipped      int64 `json:"lb_skipped"`
+	EarlyAbandoned int64 `json:"early_abandoned"`
 }
 
 // shard is one partition of the store: a slice of trajectories (global IDs
@@ -168,12 +176,12 @@ func (s *shard) snapshot() *core.Database {
 	return s.db
 }
 
-func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int, filter *geo.Rect) ([]Match, error) {
+func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *core.SharedKth, st *core.PruneStats) ([]Match, error) {
 	db := s.snapshot()
 	if db == nil {
 		return nil, nil
 	}
-	local, err := db.TopKFilteredCtx(ctx, alg, q, k, filter)
+	local, err := db.TopKPrunedCtx(ctx, alg, q, k, filter, shared, st)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +209,17 @@ type Engine struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 	inflight atomic.Int64
+
+	candSeen  atomic.Int64
+	lbSkipped atomic.Int64
+	abandoned atomic.Int64
+}
+
+// recordPrune folds one query's pruning counters into the engine totals.
+func (e *Engine) recordPrune(st core.PruneStats) {
+	e.candSeen.Add(st.Candidates)
+	e.lbSkipped.Add(st.LBSkipped)
+	e.abandoned.Add(st.Abandoned)
 }
 
 // New builds an engine from the config (zero value usable).
@@ -470,7 +489,12 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 		e.misses.Add(1)
 	}
 
+	// the shared best-so-far: every shard worker offers its matches here
+	// and reads the running GLOBAL k-th-best back, so one shard's good
+	// matches prune another shard's scan
+	shared := core.NewSharedKth(q.K)
 	perShard := make([][]Match, len(e.shards))
+	stats := make([]core.PruneStats, len(e.shards))
 	errs := make([]error, len(e.shards))
 	var wg sync.WaitGroup
 	for i, s := range e.shards {
@@ -484,7 +508,7 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 				errs[i] = ctx.Err()
 				return
 			}
-			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K, q.Filter)
+			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K, q.Filter, shared, &stats[i])
 		}(i, s)
 	}
 	wg.Wait()
@@ -493,6 +517,11 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 			return nil, nil, false, serr
 		}
 	}
+	var prune core.PruneStats
+	for i := range stats {
+		prune.Add(stats[i])
+	}
+	e.recordPrune(prune)
 	merged := mergeTopK(perShard, q.K)
 	if q.Distinct {
 		merged = e.collapseDuplicates(merged)
@@ -564,14 +593,17 @@ func mergeTopK(perShard [][]Match, k int) []Match {
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Trajectories: e.Len(),
-		Points:       int(e.points.Load()),
-		Shards:       len(e.shards),
-		Workers:      e.cfg.Workers,
-		Queries:      e.queries.Load(),
-		CacheHits:    e.hits.Load(),
-		CacheMisses:  e.misses.Load(),
-		CacheEntries: e.cache.len(),
-		InFlight:     e.inflight.Load(),
+		Trajectories:   e.Len(),
+		Points:         int(e.points.Load()),
+		Shards:         len(e.shards),
+		Workers:        e.cfg.Workers,
+		Queries:        e.queries.Load(),
+		CacheHits:      e.hits.Load(),
+		CacheMisses:    e.misses.Load(),
+		CacheEntries:   e.cache.len(),
+		InFlight:       e.inflight.Load(),
+		CandidatesSeen: e.candSeen.Load(),
+		LBSkipped:      e.lbSkipped.Load(),
+		EarlyAbandoned: e.abandoned.Load(),
 	}
 }

@@ -3,12 +3,31 @@ package engine
 import (
 	"container/heap"
 	"context"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"slices"
 
 	"simsub/internal/core"
 )
+
+// publishedKth exposes the stream collector's running global k-th-best
+// distance to the shard scanners: the collector (single goroutine, owner of
+// the authoritative heap) stores it after every heap change, the scanners
+// read it lock-free before each candidate. It implements core.Thresholder.
+type publishedKth struct{ bits atomic.Uint64 }
+
+func newPublishedKth() *publishedKth {
+	p := &publishedKth{}
+	p.bits.Store(math.Float64bits(math.Inf(1)))
+	return p
+}
+
+func (p *publishedKth) set(d float64) { p.bits.Store(math.Float64bits(d)) }
+
+// Threshold implements core.Thresholder.
+func (p *publishedKth) Threshold() float64 { return math.Float64frombits(p.bits.Load()) }
 
 // streamHeap is a bounded max-heap of the k best matches seen so far,
 // ordered by core.RankBefore with the global trajectory ID as identifier —
@@ -112,6 +131,8 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 	scanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan Match, 64)
+	kth := newPublishedKth()
+	stats := make([]core.PruneStats, len(e.shards))
 	errs := make([]error, len(e.shards))
 	var wg sync.WaitGroup
 	for i, s := range e.shards {
@@ -129,7 +150,7 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 			if db == nil {
 				return
 			}
-			errs[i] = db.ScanFilteredCtx(scanCtx, alg, q.Q, q.Filter, func(m core.Match) error {
+			errs[i] = db.ScanPrunedCtx(scanCtx, alg, q.Q, q.Filter, kth, &stats[i], func(m core.Match) error {
 				gm := Match{TrajID: db.Traj(m.TrajIndex).ID, Result: m.Result}
 				select {
 				case ch <- gm:
@@ -149,6 +170,9 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 			continue // drain so the cancelled shard senders can exit
 		}
 		if h.offer(m) {
+			if len(h.ms) == h.k {
+				kth.set(h.ms[0].Result.Dist)
+			}
 			if err := emit(m); err != nil {
 				emitErr = err
 				cancel()
@@ -163,6 +187,11 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 			return nil, nil, false, serr
 		}
 	}
+	var prune core.PruneStats
+	for i := range stats {
+		prune.Add(stats[i])
+	}
+	e.recordPrune(prune)
 	merged := h.sorted()
 	if q.Distinct {
 		merged = e.collapseDuplicates(merged)

@@ -163,6 +163,55 @@ func (r Rect) DistToPoint(p Point) float64 {
 	return math.Sqrt(dx*dx + dy*dy)
 }
 
+// DistToRect returns the minimum Euclidean distance between any point of r
+// and any point of s (0 when they intersect). It is the O(1) first stage of
+// the subtrajectory lower-bound cascade: with precomputed MBRs it bounds
+// every point-to-point distance between the two trajectories from below.
+func (r Rect) DistToRect(s Rect) float64 {
+	if r.IsEmpty() || s.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := 0.0
+	if s.MaxX < r.MinX {
+		dx = r.MinX - s.MaxX
+	} else if s.MinX > r.MaxX {
+		dx = s.MinX - r.MaxX
+	}
+	dy := 0.0
+	if s.MaxY < r.MinY {
+		dy = r.MinY - s.MaxY
+	} else if s.MinY > r.MaxY {
+		dy = s.MinY - r.MaxY
+	}
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// ChebyshevDistToPoint returns the minimum per-axis (L∞) distance from p to
+// r: max of the horizontal and vertical gaps, 0 when p is inside r. A point
+// can match a trajectory point under an EDR/LCSS tolerance eps only when its
+// Chebyshev distance to the trajectory's MBR is at most eps.
+func (r Rect) ChebyshevDistToPoint(p Point) float64 {
+	if r.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := 0.0
+	if p.X < r.MinX {
+		dx = r.MinX - p.X
+	} else if p.X > r.MaxX {
+		dx = p.X - r.MaxX
+	}
+	dy := 0.0
+	if p.Y < r.MinY {
+		dy = r.MinY - p.Y
+	} else if p.Y > r.MaxY {
+		dy = p.Y - r.MaxY
+	}
+	if dy > dx {
+		return dy
+	}
+	return dx
+}
+
 // String implements fmt.Stringer for diagnostics.
 func (r Rect) String() string {
 	return fmt.Sprintf("Rect[%.4g,%.4g - %.4g,%.4g]", r.MinX, r.MinY, r.MaxX, r.MaxY)

@@ -296,15 +296,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.eng.Stats()
 	writeJSON(w, http.StatusOK, api.StatsResponse{
 		Engine: api.Stats{
-			Trajectories: es.Trajectories,
-			Points:       es.Points,
-			Shards:       es.Shards,
-			Workers:      es.Workers,
-			Queries:      es.Queries,
-			CacheHits:    es.CacheHits,
-			CacheMisses:  es.CacheMisses,
-			CacheEntries: es.CacheEntries,
-			InFlight:     es.InFlight,
+			Trajectories:   es.Trajectories,
+			Points:         es.Points,
+			Shards:         es.Shards,
+			Workers:        es.Workers,
+			Queries:        es.Queries,
+			CacheHits:      es.CacheHits,
+			CacheMisses:    es.CacheMisses,
+			CacheEntries:   es.CacheEntries,
+			InFlight:       es.InFlight,
+			CandidatesSeen: es.CandidatesSeen,
+			LBSkipped:      es.LBSkipped,
+			EarlyAbandoned: es.EarlyAbandoned,
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),

@@ -29,7 +29,8 @@ func (DTW) Dist(t, q traj.Trajectory) float64 {
 	if n == 0 || m == 0 {
 		return math.Inf(1)
 	}
-	row := make([]float64, m)
+	row := getRow(m)
+	defer putRow(row)
 	// first data point: D(0,j) = sum_{k<=j} d(p0,qk)
 	acc := 0.0
 	for j := 0; j < m; j++ {
@@ -62,8 +63,37 @@ func dtwExtendRow(row []float64, p geo.Point, q traj.Trajectory) {
 	}
 }
 
+// dtwExtendRowMin is dtwExtendRow additionally returning the minimum cell
+// of the new row, the early-abandoning pivot: DP cells are a non-negative
+// cost plus a minimum over earlier cells, so the row minimum never
+// decreases as the data point index grows, and every future distance
+// (a future row's last cell) is at least the current row minimum.
+func dtwExtendRowMin(row []float64, p geo.Point, q traj.Trajectory) float64 {
+	m := len(row)
+	prevDiag := row[0]
+	row[0] = geo.Dist(p, q.Pt(0)) + prevDiag
+	rowMin := row[0]
+	for j := 1; j < m; j++ {
+		prevUp := row[j]
+		best := prevDiag
+		if prevUp < best {
+			best = prevUp
+		}
+		if row[j-1] < best {
+			best = row[j-1]
+		}
+		row[j] = geo.Dist(p, q.Pt(j)) + best
+		if row[j] < rowMin {
+			rowMin = row[j]
+		}
+		prevDiag = prevUp
+	}
+	return rowMin
+}
+
 // dtwInc is the incremental DTW computer: it keeps the last DP row (over
-// query indices) and extends it by one data point per Extend call.
+// query indices) and extends it by one data point per Extend call. The row
+// is pool-backed; see pool.go for the ownership rules.
 type dtwInc struct {
 	t, q traj.Trajectory
 	row  []float64
@@ -72,7 +102,7 @@ type dtwInc struct {
 
 // NewIncremental implements Measure.
 func (DTW) NewIncremental(t, q traj.Trajectory) Incremental {
-	return &dtwInc{t: t, q: q, row: make([]float64, q.Len())}
+	return &dtwInc{t: t, q: q, row: getRow(q.Len())}
 }
 
 func (c *dtwInc) Init(i int) float64 {
@@ -96,6 +126,23 @@ func (c *dtwInc) Extend() float64 {
 }
 
 func (c *dtwInc) End() int { return c.end }
+
+// ExtendAbandoning implements ThresholdIncremental; see dtwExtendRowMin for
+// the monotone-row-minimum argument.
+func (c *dtwInc) ExtendAbandoning(tau float64) (float64, bool) {
+	c.end++
+	rowMin := dtwExtendRowMin(c.row, c.t.Pt(c.end), c.q)
+	if rowMin > tau {
+		return rowMin, true
+	}
+	return c.row[len(c.row)-1], false
+}
+
+// Release implements Releaser.
+func (c *dtwInc) Release() {
+	putRow(c.row)
+	c.row = nil
+}
 
 func init() { Register("cdtw", func() Measure { return CDTW{R: 0.25} }) }
 
@@ -122,14 +169,29 @@ func (c CDTW) Dist(t, q traj.Trajectory) float64 {
 	}
 	w := c.bandWidth(n, m)
 	inf := math.Inf(1)
-	prev := make([]float64, m)
-	cur := make([]float64, m)
+	prev := getRow(m)
+	cur := getRow(m)
+	defer putRow(prev)
+	defer putRow(cur)
 	for j := range prev {
 		prev[j] = inf
 	}
+	for j := range cur {
+		cur[j] = inf
+	}
+	// Each buffer is +Inf outside the band of the row it last held
+	// ([cLo,cHi] for cur, [pLo,pHi] for prev; empty to start). A new row
+	// only needs the stale cells of its buffer's old band that the new
+	// band does not overwrite reset to +Inf — O(w) per data point instead
+	// of the former full O(m) clear.
+	pLo, pHi := 0, -1
+	cLo, cHi := 0, -1
 	for i := 0; i < n; i++ {
 		lo, hi := bandRange(i, n, m, w)
-		for j := range cur {
+		for j := cLo; j <= cHi && j < lo; j++ {
+			cur[j] = inf
+		}
+		for j := cHi; j >= cLo && j > hi; j-- {
 			cur[j] = inf
 		}
 		for j := lo; j <= hi; j++ {
@@ -153,6 +215,7 @@ func (c CDTW) Dist(t, q traj.Trajectory) float64 {
 			}
 		}
 		prev, cur = cur, prev
+		cLo, cHi, pLo, pHi = pLo, pHi, lo, hi
 	}
 	return prev[m-1]
 }

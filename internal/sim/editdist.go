@@ -40,22 +40,23 @@ func (e ERP) Dist(t, q traj.Trajectory) float64 {
 	if n == 0 || m == 0 {
 		return math.Inf(1)
 	}
-	row := e.baseRow(q)
+	row := getRow(m + 1)
+	defer putRow(row)
+	e.baseRowInto(row, q)
 	for i := 0; i < n; i++ {
 		e.extendRow(row, t.Pt(i), q)
 	}
 	return row[m]
 }
 
-// baseRow returns ERP(∅, q[0..j-1]) for j = 0..m: the cost of deleting the
-// whole query prefix.
-func (e ERP) baseRow(q traj.Trajectory) []float64 {
+// baseRowInto fills row with ERP(∅, q[0..j-1]) for j = 0..m: the cost of
+// deleting the whole query prefix. row must have m+1 cells.
+func (e ERP) baseRowInto(row []float64, q traj.Trajectory) {
 	m := q.Len()
-	row := make([]float64, m+1)
+	row[0] = 0
 	for j := 1; j <= m; j++ {
 		row[j] = row[j-1] + geo.Dist(q.Pt(j-1), e.Gap)
 	}
-	return row
 }
 
 // extendRow advances the DP by one data point in place; row has m+1 cells
@@ -82,6 +83,36 @@ func (e ERP) extendRow(row []float64, p geo.Point, q traj.Trajectory) {
 	}
 }
 
+// extendRowMin is extendRow additionally returning the new row's minimum:
+// every cell adds a non-negative cost to a minimum over earlier cells, so
+// the row minimum never decreases and lower-bounds all future distances.
+func (e ERP) extendRowMin(row []float64, p geo.Point, q traj.Trajectory) float64 {
+	m := q.Len()
+	gp := geo.Dist(p, e.Gap)
+	prevDiag := row[0]
+	row[0] += gp // delete p
+	rowMin := row[0]
+	for j := 1; j <= m; j++ {
+		prevUp := row[j]
+		match := prevDiag + geo.Dist(p, q.Pt(j-1))
+		delP := prevUp + gp
+		delQ := row[j-1] + geo.Dist(q.Pt(j-1), e.Gap)
+		best := match
+		if delP < best {
+			best = delP
+		}
+		if delQ < best {
+			best = delQ
+		}
+		row[j] = best
+		if best < rowMin {
+			rowMin = best
+		}
+		prevDiag = prevUp
+	}
+	return rowMin
+}
+
 type erpInc struct {
 	meas ERP
 	t, q traj.Trajectory
@@ -99,7 +130,10 @@ func (c *erpInc) Init(i int) float64 {
 		panic("sim: ERP incremental with empty query")
 	}
 	c.end = i
-	c.row = c.meas.baseRow(c.q)
+	if c.row == nil {
+		c.row = getRow(c.q.Len() + 1)
+	}
+	c.meas.baseRowInto(c.row, c.q)
 	c.meas.extendRow(c.row, c.t.Pt(i), c.q)
 	return c.row[c.q.Len()]
 }
@@ -111,6 +145,22 @@ func (c *erpInc) Extend() float64 {
 }
 
 func (c *erpInc) End() int { return c.end }
+
+// ExtendAbandoning implements ThresholdIncremental; see extendRowMin.
+func (c *erpInc) ExtendAbandoning(tau float64) (float64, bool) {
+	c.end++
+	rowMin := c.meas.extendRowMin(c.row, c.t.Pt(c.end), c.q)
+	if rowMin > tau {
+		return rowMin, true
+	}
+	return c.row[c.q.Len()], false
+}
+
+// Release implements Releaser.
+func (c *erpInc) Release() {
+	putRow(c.row)
+	c.row = nil
+}
 
 // EDR is the Edit Distance on Real sequence: points match (cost 0) when
 // within Eps in both coordinates, otherwise substitution/insertion/deletion
@@ -137,7 +187,8 @@ func (e EDR) Dist(t, q traj.Trajectory) float64 {
 	if n == 0 || m == 0 {
 		return math.Inf(1)
 	}
-	row := make([]float64, m+1)
+	row := getRow(m + 1)
+	defer putRow(row)
 	for j := 0; j <= m; j++ {
 		row[j] = float64(j)
 	}
@@ -181,13 +232,45 @@ func (e EDR) NewIncremental(t, q traj.Trajectory) Incremental {
 	return &edrInc{meas: e, t: t, q: q}
 }
 
+// extendRowMin is extendRow additionally returning the new row's minimum:
+// every cell adds a non-negative edit cost to a minimum over earlier cells,
+// so the row minimum never decreases and lower-bounds all future distances.
+func (e EDR) extendRowMin(row []float64, p geo.Point, q traj.Trajectory) float64 {
+	m := q.Len()
+	prevDiag := row[0]
+	row[0]++
+	rowMin := row[0]
+	for j := 1; j <= m; j++ {
+		prevUp := row[j]
+		sub := prevDiag
+		if !e.match(p, q.Pt(j-1)) {
+			sub++
+		}
+		best := sub
+		if prevUp+1 < best {
+			best = prevUp + 1
+		}
+		if row[j-1]+1 < best {
+			best = row[j-1] + 1
+		}
+		row[j] = best
+		if best < rowMin {
+			rowMin = best
+		}
+		prevDiag = prevUp
+	}
+	return rowMin
+}
+
 func (c *edrInc) Init(i int) float64 {
 	m := c.q.Len()
 	if m == 0 {
 		panic("sim: EDR incremental with empty query")
 	}
 	c.end = i
-	c.row = make([]float64, m+1)
+	if c.row == nil {
+		c.row = getRow(m + 1)
+	}
 	for j := 0; j <= m; j++ {
 		c.row[j] = float64(j)
 	}
@@ -202,6 +285,22 @@ func (c *edrInc) Extend() float64 {
 }
 
 func (c *edrInc) End() int { return c.end }
+
+// ExtendAbandoning implements ThresholdIncremental; see extendRowMin.
+func (c *edrInc) ExtendAbandoning(tau float64) (float64, bool) {
+	c.end++
+	rowMin := c.meas.extendRowMin(c.row, c.t.Pt(c.end), c.q)
+	if rowMin > tau {
+		return rowMin, true
+	}
+	return c.row[c.q.Len()], false
+}
+
+// Release implements Releaser.
+func (c *edrInc) Release() {
+	putRow(c.row)
+	c.row = nil
+}
 
 // LCSS derives a dissimilarity from the Longest Common SubSequence: two
 // points match when within Eps per coordinate, and
@@ -227,7 +326,11 @@ func (l LCSS) Dist(t, q traj.Trajectory) float64 {
 	if n == 0 || m == 0 {
 		return math.Inf(1)
 	}
-	row := make([]float64, m+1)
+	row := getRow(m + 1)
+	defer putRow(row)
+	for j := range row {
+		row[j] = 0
+	}
 	for i := 0; i < n; i++ {
 		l.extendRow(row, t.Pt(i), q)
 	}
@@ -280,7 +383,12 @@ func (c *lcssInc) Init(i int) float64 {
 		panic("sim: LCSS incremental with empty query")
 	}
 	c.start, c.end = i, i
-	c.row = make([]float64, m+1)
+	if c.row == nil {
+		c.row = getRow(m + 1)
+	}
+	for j := range c.row {
+		c.row[j] = 0
+	}
 	c.meas.extendRow(c.row, c.t.Pt(i), c.q)
 	return c.meas.toDist(c.row[m], 1, m)
 }
@@ -292,3 +400,38 @@ func (c *lcssInc) Extend() float64 {
 }
 
 func (c *lcssInc) End() int { return c.end }
+
+// ExtendAbandoning implements ThresholdIncremental. LCSS grows by at most
+// one per added data point and is capped by both sequence lengths, so with
+// L = LCSS(T[i,j],Q), R data points remaining after j, len = j-i+1 and
+// mm = min(len+R, m), every future dissimilarity is at least
+// 1 - min(L+R, mm)/mm; the ratio (L+e)/min(len+e, m) is non-decreasing in
+// the number of added points e, so the bound at e = R is the minimum over
+// all futures and the current value (e = 0) is itself above tau whenever
+// the bound is.
+func (c *lcssInc) ExtendAbandoning(tau float64) (float64, bool) {
+	c.end++
+	m := c.q.Len()
+	c.meas.extendRow(c.row, c.t.Pt(c.end), c.q)
+	length := c.end - c.start + 1
+	d := c.meas.toDist(c.row[m], length, m)
+	remaining := c.t.Len() - 1 - c.end
+	mm := length + remaining
+	if m < mm {
+		mm = m
+	}
+	maxFuture := c.row[m] + float64(remaining)
+	if float64(mm) < maxFuture {
+		maxFuture = float64(mm)
+	}
+	if lb := 1 - maxFuture/float64(mm); lb > tau {
+		return lb, true
+	}
+	return d, false
+}
+
+// Release implements Releaser.
+func (c *lcssInc) Release() {
+	putRow(c.row)
+	c.row = nil
+}

@@ -28,7 +28,8 @@ func (Frechet) Dist(t, q traj.Trajectory) float64 {
 	if n == 0 || m == 0 {
 		return math.Inf(1)
 	}
-	row := make([]float64, m)
+	row := getRow(m)
+	defer putRow(row)
 	acc := 0.0
 	for j := 0; j < m; j++ {
 		d := geo.Dist(t.Pt(0), q.Pt(j))
@@ -72,6 +73,42 @@ func frechetExtendRow(row []float64, p geo.Point, q traj.Trajectory) {
 	}
 }
 
+// frechetExtendRowMin is frechetExtendRow additionally returning the new
+// row's minimum cell: every cell is max(cost, min of earlier cells), so the
+// row minimum never decreases and lower-bounds all future distances.
+func frechetExtendRowMin(row []float64, p geo.Point, q traj.Trajectory) float64 {
+	m := len(row)
+	prevDiag := row[0]
+	d0 := geo.Dist(p, q.Pt(0))
+	if d0 > prevDiag {
+		row[0] = d0
+	} else {
+		row[0] = prevDiag
+	}
+	rowMin := row[0]
+	for j := 1; j < m; j++ {
+		prevUp := row[j]
+		best := prevDiag
+		if prevUp < best {
+			best = prevUp
+		}
+		if row[j-1] < best {
+			best = row[j-1]
+		}
+		d := geo.Dist(p, q.Pt(j))
+		if d > best {
+			row[j] = d
+		} else {
+			row[j] = best
+		}
+		if row[j] < rowMin {
+			rowMin = row[j]
+		}
+		prevDiag = prevUp
+	}
+	return rowMin
+}
+
 type frechetInc struct {
 	t, q traj.Trajectory
 	row  []float64
@@ -80,7 +117,7 @@ type frechetInc struct {
 
 // NewIncremental implements Measure.
 func (Frechet) NewIncremental(t, q traj.Trajectory) Incremental {
-	return &frechetInc{t: t, q: q, row: make([]float64, q.Len())}
+	return &frechetInc{t: t, q: q, row: getRow(q.Len())}
 }
 
 func (c *frechetInc) Init(i int) float64 {
@@ -107,3 +144,20 @@ func (c *frechetInc) Extend() float64 {
 }
 
 func (c *frechetInc) End() int { return c.end }
+
+// ExtendAbandoning implements ThresholdIncremental; see frechetExtendRowMin
+// for the monotone-row-minimum argument.
+func (c *frechetInc) ExtendAbandoning(tau float64) (float64, bool) {
+	c.end++
+	rowMin := frechetExtendRowMin(c.row, c.t.Pt(c.end), c.q)
+	if rowMin > tau {
+		return rowMin, true
+	}
+	return c.row[len(c.row)-1], false
+}
+
+// Release implements Releaser.
+func (c *frechetInc) Release() {
+	putRow(c.row)
+	c.row = nil
+}

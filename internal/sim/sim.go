@@ -54,6 +54,22 @@ type Incremental interface {
 	End() int
 }
 
+// ThresholdIncremental is an optional extension of Incremental for measures
+// whose DP admits provable early abandoning: kernels whose row minimum can
+// never decrease as the subtrajectory grows (DTW, Fréchet, ERP, EDR) or
+// that can bound all remaining extensions (LCSS). Algorithms opt in by type
+// assertion; the plain Incremental contract is unchanged.
+type ThresholdIncremental interface {
+	Incremental
+	// ExtendAbandoning advances the end index by one like Extend. When
+	// abandoned is false, d is exactly d(T[i,j], Q) for the new end j. When
+	// abandoned is true, the computer has proven that d(T[i,j'], Q) > tau
+	// strictly for the new end and EVERY later end j' of this start, d is a
+	// lower bound on those distances, and the computer must be re-Init-ed
+	// before further use.
+	ExtendAbandoning(tau float64) (d float64, abandoned bool)
+}
+
 // Sim converts a dissimilarity into the paper's similarity Θ = 1/(1+d).
 // It maps [0,∞) monotonically onto (0,1], with identical trajectories at 1.
 func Sim(d float64) float64 { return 1 / (1 + d) }
@@ -70,19 +86,35 @@ func DistFromSim(s float64) float64 { return 1/s - 1 }
 // for others (e.g. t2vec) it is positively correlated, as the paper found
 // empirically.
 func SuffixDists(m Measure, t, q traj.Trajectory) []float64 {
-	n := t.Len()
-	out := make([]float64, n)
-	if n == 0 {
+	out := make([]float64, t.Len())
+	if t.Len() == 0 {
 		return out
 	}
-	tr, qr := t.Reverse(), q.Reverse()
-	inc := m.NewIncremental(tr, qr)
-	// reversed(T)[0..k] corresponds to suffix T[n-1-k .. n-1].
-	out[n-1] = inc.Init(0)
-	for k := 1; k < n; k++ {
-		out[n-1-k] = inc.Extend()
+	return SuffixDistsInto(out, m, t.Reverse(), q.Reverse())
+}
+
+// SuffixDistsInto is SuffixDists with the reversals and the output buffer
+// supplied by the caller: tr and qr must be the already-reversed data and
+// query trajectories (stores precompute tr at insert time, scans reverse q
+// once per query), and dst is reused when its capacity suffices. This is
+// the scan hot path's allocation-free form.
+func SuffixDistsInto(dst []float64, m Measure, tr, qr traj.Trajectory) []float64 {
+	n := tr.Len()
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return out
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	inc := m.NewIncremental(tr, qr)
+	defer Release(inc)
+	// reversed(T)[0..k] corresponds to suffix T[n-1-k .. n-1].
+	dst[n-1] = inc.Init(0)
+	for k := 1; k < n; k++ {
+		dst[n-1-k] = inc.Extend()
+	}
+	return dst
 }
 
 // PrefixDists returns d(T[0,j], Q) for every end index j, computed
@@ -94,6 +126,7 @@ func PrefixDists(m Measure, t, q traj.Trajectory) []float64 {
 		return out
 	}
 	inc := m.NewIncremental(t, q)
+	defer Release(inc)
 	out[0] = inc.Init(0)
 	for j := 1; j < n; j++ {
 		out[j] = inc.Extend()
@@ -107,8 +140,14 @@ func PrefixDists(m Measure, t, q traj.Trajectory) []float64 {
 // building block for exact search and for the MR/RR effectiveness metrics.
 func AllSubDists(m Measure, t, q traj.Trajectory, fn func(i, j int, d float64)) {
 	n := t.Len()
+	if n == 0 {
+		return
+	}
+	// one computer re-Init-ed per start (Init begins a fresh scan), so the
+	// enumeration performs no per-start allocations
+	inc := m.NewIncremental(t, q)
+	defer Release(inc)
 	for i := 0; i < n; i++ {
-		inc := m.NewIncremental(t, q)
 		fn(i, i, inc.Init(i))
 		for j := i + 1; j < n; j++ {
 			fn(i, j, inc.Extend())

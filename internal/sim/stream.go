@@ -137,7 +137,10 @@ func (e ERP) NewStream(q traj.Trajectory) Stream {
 
 func (s *erpStream) Push(p geo.Point) float64 {
 	if s.n == 0 {
-		s.row = s.meas.baseRow(s.q)
+		if s.row == nil {
+			s.row = make([]float64, s.q.Len()+1)
+		}
+		s.meas.baseRowInto(s.row, s.q)
 	}
 	s.meas.extendRow(s.row, p, s.q)
 	s.n++
