@@ -75,7 +75,10 @@ type QuerySpec struct {
 	K int `json:"k"`
 	// Measure names a registered similarity measure (default "dtw").
 	Measure string `json:"measure,omitempty"`
-	// Algorithm names a search algorithm (default "pss").
+	// Algorithm names a search algorithm (default "pss"). The learned
+	// approximate searches "rls" and "rls-skip" additionally require a
+	// policy registered on the server (simsubd -policy or
+	// POST /v2/admin/policy); without one they fail as invalid_argument.
 	Algorithm string `json:"algorithm,omitempty"`
 
 	// EDREps overrides the EDR matching tolerance (measure "edr" only).
@@ -217,6 +220,46 @@ type Stats struct {
 	CandidatesSeen int64 `json:"candidates_seen"`
 	LBSkipped      int64 `json:"lb_skipped"`
 	EarlyAbandoned int64 `json:"early_abandoned"`
+	// Learned-search serving state: whether a policy is registered, its
+	// algorithm name and content fingerprint, and how many queries the
+	// learned searches have answered.
+	PolicyLoaded      bool   `json:"policy_loaded"`
+	PolicyName        string `json:"policy_name,omitempty"`
+	PolicyFingerprint string `json:"policy_fingerprint,omitempty"`
+	RLSQueries        int64  `json:"rls_queries"`
+	// Sampled serving-quality aggregates of the learned searches (enabled
+	// by the engine's QualitySample knob; all zero while no query has been
+	// sampled): the mean approximation ratio of sampled rankings against
+	// the exact ranking (0 while every sampled position had a 0-distance
+	// exact answer, where the ratio is undefined), the mean 1-based rank
+	// of their trajectories within it (absent trajectories counting as
+	// k+1), and the mean fraction of data points skip policies never
+	// scanned.
+	QualitySamples  int64   `json:"quality_samples"`
+	ApproxRatio     float64 `json:"approx_ratio"`
+	MeanRank        float64 `json:"mean_rank"`
+	SkippedFraction float64 `json:"skipped_fraction"`
+}
+
+// PolicySwapRequest is the body of POST /v2/admin/policy: exactly one of
+// Path (a server-local policy file, for operators colocated with the
+// daemon) or PolicyB64 (the policy file's bytes, base64, for remote
+// admin) must be set. The new policy is validated before it replaces the
+// old one; a rejected swap leaves the previous registration serving.
+type PolicySwapRequest struct {
+	Path      string `json:"path,omitempty"`
+	PolicyB64 string `json:"policy_b64,omitempty"`
+}
+
+// PolicyInfo answers GET and POST /v2/admin/policy: the registered
+// policy's algorithm name ("RLS", "RLS-Skip" or "RLS-Skip+"), MDP shape
+// and content fingerprint.
+type PolicyInfo struct {
+	Name          string `json:"name"`
+	K             int    `json:"k"`
+	UseSuffix     bool   `json:"use_suffix"`
+	SimplifyState bool   `json:"simplify_state"`
+	Fingerprint   string `json:"fingerprint"`
 }
 
 // StatsResponse answers GET /v1/stats and GET /v2/stats.

@@ -198,6 +198,32 @@ func (c *Client) GetTrajectory(ctx context.Context, id int) (*api.TrajectoryReco
 	return &out, nil
 }
 
+// SwapPolicy registers a new DQN splitting policy on the server (POST
+// /v2/admin/policy), enabling — or hot-swapping — the learned "rls" /
+// "rls-skip" algorithms. The request names a server-local file path or
+// carries the policy bytes inline (base64); the returned info carries the
+// new policy's name, MDP shape and content fingerprint. Invalid policies
+// are rejected with a typed invalid_argument error and leave the previous
+// registration serving.
+func (c *Client) SwapPolicy(ctx context.Context, req api.PolicySwapRequest) (*api.PolicyInfo, error) {
+	var out api.PolicyInfo
+	if err := c.roundTrip(ctx, http.MethodPost, "/v2/admin/policy", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Policy fetches the registered policy's description (GET
+// /v2/admin/policy); a server with no policy loaded returns a typed
+// not_found error.
+func (c *Client) Policy(ctx context.Context) (*api.PolicyInfo, error) {
+	var out api.PolicyInfo
+	if err := c.roundTrip(ctx, http.MethodGet, "/v2/admin/policy", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Stats fetches the engine and server counters.
 func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	var out api.StatsResponse

@@ -13,7 +13,9 @@ import (
 	"simsub/client"
 	"simsub/internal/engine"
 	"simsub/internal/geo"
+	"simsub/internal/rl"
 	"simsub/internal/server"
+	"simsub/internal/sim"
 	"simsub/internal/traj"
 )
 
@@ -226,5 +228,82 @@ func TestClientTypedErrors(t *testing.T) {
 	}
 	if err := c.Health(context.Background()); err != nil {
 		t.Fatalf("health: %v", err)
+	}
+}
+
+// TestClientPolicyAdmin round-trips the learned-search administration:
+// register a policy through the client, inspect it, query with "rls", and
+// observe typed errors before registration.
+func TestClientPolicyAdmin(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	c, eng := newServedEngine(t, engine.Config{Shards: 2, Index: engine.ScanAll})
+	set := make([]api.Trajectory, 30)
+	for i := range set {
+		set[i] = api.FromTraj(randWalk(rng, rng.Intn(10)+6))
+	}
+	if _, err := c.Load(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+
+	// before registration: Policy is typed not_found, rls is invalid_argument
+	var ae *api.Error
+	if _, err := c.Policy(context.Background()); !errors.As(err, &ae) || ae.Code != api.CodeNotFound {
+		t.Fatalf("Policy with none loaded: %v", err)
+	}
+	spec := api.QuerySpec{Query: set[0], K: 3, Algorithm: "rls"}
+	resp, err := c.Query(context.Background(), api.Query{Specs: []api.QuerySpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := resp.Results[0].Error; e == nil || e.Code != api.CodeInvalidArgument {
+		t.Fatalf("rls with no policy: %+v", resp.Results[0])
+	}
+
+	// train a tiny policy in-process, register it by path
+	pairsData := make([]traj.Trajectory, 8)
+	pairsQuery := make([]traj.Trajectory, 8)
+	for i := range pairsData {
+		pairsData[i] = randWalk(rng, 12)
+		pairsQuery[i] = randWalk(rng, 4)
+	}
+	p, _, err := rl.Train(pairsData, pairsQuery, sim.DTW{}, rl.Config{Episodes: 5, Seed: 3, UseSuffix: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/p.policy"
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.SwapPolicy(context.Background(), api.PolicySwapRequest{Path: path})
+	if err != nil {
+		t.Fatalf("SwapPolicy: %v", err)
+	}
+	if info.Name != "RLS" || info.Fingerprint == "" {
+		t.Fatalf("swap info %+v", info)
+	}
+	got, err := c.Policy(context.Background())
+	if err != nil || *got != *info {
+		t.Fatalf("Policy() = %+v, %v; want %+v", got, err, info)
+	}
+
+	// the client-served ranking equals the in-process engine's
+	resp, err = c.Query(context.Background(), api.Query{Specs: []api.QuerySpec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := resp.Results[0].Error; e != nil {
+		t.Fatalf("rls query: %v", e)
+	}
+	q, aerr := spec.Query.ToTraj()
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	direct, _, err := eng.TopK(context.Background(), engine.Query{Q: q, K: 3, Measure: "dtw", Algorithm: "rls"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := engine.MatchesToAPI(direct)
+	if !reflect.DeepEqual(resp.Results[0].Matches, want) {
+		t.Fatalf("client ranking %+v != engine ranking %+v", resp.Results[0].Matches, want)
 	}
 }

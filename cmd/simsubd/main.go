@@ -7,6 +7,7 @@
 //
 //	simsubd -addr :8080 -shards 8 -workers 16 -cache 4096
 //	simsubd -addr :8080 -data porto.csv -index grid
+//	simsubd -addr :8080 -policy skip.policy -quality-sample 0.01
 //
 // Endpoints: POST /v2/query (batched specs), POST /v2/query/stream (NDJSON
 // incremental matches), GET /v2/trajectories/{id}, GET /v2/stats, plus the
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"simsub/internal/engine"
+	"simsub/internal/rl"
 	"simsub/internal/server"
 	"simsub/internal/traj"
 )
@@ -37,13 +39,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simsubd: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		shards    = flag.Int("shards", 4, "store shard count")
-		workers   = flag.Int("workers", 0, "bounded worker-pool size (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("cache", 1024, "LRU result-cache entries (0 disables)")
-		indexName = flag.String("index", "rtree", "per-shard index: rtree, grid, none")
-		dataPath  = flag.String("data", "", "optional CSV of trajectories to preload")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request search timeout cap")
+		addr       = flag.String("addr", ":8080", "listen address")
+		shards     = flag.Int("shards", 4, "store shard count")
+		workers    = flag.Int("workers", 0, "bounded worker-pool size (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", 1024, "LRU result-cache entries (0 disables)")
+		indexName  = flag.String("index", "rtree", "per-shard index: rtree, grid, none")
+		dataPath   = flag.String("data", "", "optional CSV of trajectories to preload")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request search timeout cap")
+		policyPath = flag.String("policy", "", "optional RLS/RLS-Skip policy file (cmd/train -mode rls) enabling the learned algorithms")
+		qualitySam = flag.Float64("quality-sample", 0, "fraction of learned-search queries re-scored against the exact ranking for serving-quality stats")
 	)
 	flag.Parse()
 
@@ -60,11 +64,23 @@ func main() {
 	}
 
 	eng := engine.New(engine.Config{
-		Shards:    *shards,
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Index:     kind,
+		Shards:        *shards,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		Index:         kind,
+		QualitySample: *qualitySam,
 	})
+	if *policyPath != "" {
+		p, err := rl.LoadFile(*policyPath)
+		if err != nil {
+			log.Fatalf("loading policy %s: %v", *policyPath, err)
+		}
+		info, err := eng.SetPolicy(p)
+		if err != nil {
+			log.Fatalf("registering policy %s: %v", *policyPath, err)
+		}
+		log.Printf("serving %s policy from %s (k=%d, fingerprint %s)", info.Name, *policyPath, info.K, info.Fingerprint)
+	}
 	if *dataPath != "" {
 		ts, err := traj.LoadCSV(*dataPath)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"simsub/internal/core"
 	"simsub/internal/dataset"
 	"simsub/internal/rl"
 	"simsub/internal/sim"
@@ -95,8 +96,17 @@ func main() {
 		if err := policy.SaveFile(*out); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "saved policy to %s (k=%d suffix=%v, %d episodes in %s, recent reward %.4f)\n",
-			*out, *k, useSuffix, *episodes, stats.Duration.Round(1e6), stats.MeanRecentReward(50))
+		// round-trip verification: the file a simsubd -policy flag will read
+		// must reload and validate; catching a serialization problem here
+		// beats discovering it at server start
+		reloaded, err := rl.LoadFile(*out)
+		if err != nil {
+			log.Fatalf("verifying saved policy %s: %v", *out, err)
+		}
+		probe := core.RLS{M: m, Policy: reloaded}
+		r := probe.Search(datas[0], queries[0])
+		fmt.Fprintf(os.Stderr, "saved %s policy to %s (k=%d suffix=%v, %d episodes in %s, recent reward %.4f; reload probe dist %.4f)\n",
+			probe.Name(), *out, *k, useSuffix, *episodes, stats.Duration.Round(1e6), stats.MeanRecentReward(50), r.Dist)
 
 	default:
 		log.Fatalf("unknown mode %q", *mode)

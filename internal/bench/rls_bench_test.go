@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"simsub/internal/core"
+	"simsub/internal/dataset"
+	"simsub/internal/rl"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// Learned-search serving benchmarks: RLS / RLS-Skip versus the best
+// heuristic splitting search (PSS) on the same 1000-trajectory store at
+// k=10 — the paper's efficiency-versus-effectiveness trade (Tables 4–5) at
+// the serving layer. Every run records latency plus accuracy against the
+// exact ranking (approximation ratio, mean rank, skipped-point fraction)
+// into BENCH_rls.json (override with BENCH_RLS_OUT):
+//
+//	go test ./internal/bench -run '^$' -bench BenchmarkRLS -benchtime 1x
+
+type rlsBenchResult struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// ApproxRatio is the mean over ranking positions of the algorithm's
+	// exact re-scored distance divided by the exact ranking's distance at
+	// the same position (1.0 = exact-quality answers).
+	ApproxRatio float64 `json:"approx_ratio"`
+	// MeanRank is the mean 1-based position of the algorithm's ranked
+	// trajectories within the exact top-k (absent trajectories count as
+	// k+1; 5.5 is perfect for k=10).
+	MeanRank float64 `json:"mean_rank"`
+	// SkippedFraction is the mean fraction of data points never scanned
+	// (skip policies only).
+	SkippedFraction float64 `json:"skipped_fraction"`
+}
+
+var (
+	rlsMu      sync.Mutex
+	rlsResults = map[string]rlsBenchResult{}
+
+	rlsPolicyOnce sync.Once
+	rlsPolicies   map[string]*rl.Policy
+)
+
+// benchPolicies trains tiny policies once per benchmark run: enough
+// episodes to exercise the full train → serve path, few enough to keep the
+// smoke run fast.
+func benchPolicies(b *testing.B) map[string]*rl.Policy {
+	rlsPolicyOnce.Do(func() {
+		pool := servingData(60, 24, 11)
+		ps := dataset.Pairs(pool, 30, 0, 10, 12)
+		datas := make([]traj.Trajectory, len(ps))
+		queries := make([]traj.Trajectory, len(ps))
+		for i, p := range ps {
+			datas[i] = p.Data
+			queries[i] = p.Query
+		}
+		rlsPolicies = map[string]*rl.Policy{}
+		for name, k := range map[string]int{"rls": 0, "rls-skip": 3} {
+			p, _, err := rl.Train(datas, queries, sim.DTW{}, rl.Config{
+				K: k, UseSuffix: true, SimplifyState: k > 0, Episodes: 30, Seed: 7,
+			})
+			if err != nil {
+				b.Fatalf("training %s policy: %v", name, err)
+			}
+			rlsPolicies[name] = p
+		}
+	})
+	return rlsPolicies
+}
+
+// rlsAccuracy scores an algorithm's ranking against the exact one with
+// the same scorer the engine's sampled telemetry uses
+// (core.ScoreApproxQuality), so BENCH_rls.json and GET /v2/stats can
+// never diverge on what the quality numbers mean.
+func rlsAccuracy(db *core.Database, alg core.Algorithm, m sim.Measure, q traj.Trajectory, k int) (ratio, meanRank, skipped float64) {
+	ranked := func(ms []core.Match) []core.RankedAnswer {
+		out := make([]core.RankedAnswer, len(ms))
+		for i, a := range ms {
+			out[i] = core.RankedAnswer{ID: a.TrajIndex, T: db.Traj(a.TrajIndex), R: a.Result}
+		}
+		return out
+	}
+	var policy *rl.Policy
+	if rls, ok := alg.(core.RLS); ok {
+		policy = rls.Policy
+	}
+	res, ok := core.ScoreApproxQuality(m, policy, q,
+		ranked(db.TopK(alg, q, k)), ranked(db.TopK(core.ExactS{M: m}, q, k)))
+	if !ok {
+		return 0, 0, 0
+	}
+	return res.ApproxRatio, res.MeanRank, res.SkippedFraction
+}
+
+func benchRLS(b *testing.B, name string, alg core.Algorithm) {
+	m := sim.DTW{}
+	db := core.NewDatabase(servingData(1000, 24, 7), false)
+	q := servingData(1, 9, 8)[0]
+	const k = 10
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.TopKPrunedCtx(context.Background(), alg, q, k, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	res := rlsBenchResult{NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N)}
+	res.ApproxRatio, res.MeanRank, res.SkippedFraction = rlsAccuracy(db, alg, m, q, k)
+	b.ReportMetric(res.ApproxRatio, "approx_ratio")
+	rlsMu.Lock()
+	rlsResults[name] = res
+	rlsMu.Unlock()
+}
+
+func BenchmarkRLS(b *testing.B) {
+	pols := benchPolicies(b)
+	b.Run("rls", func(b *testing.B) {
+		benchRLS(b, "rls", core.RLS{M: sim.DTW{}, Policy: pols["rls"]})
+	})
+	b.Run("rls-skip", func(b *testing.B) {
+		benchRLS(b, "rls-skip", core.RLS{M: sim.DTW{}, Policy: pols["rls-skip"]})
+	})
+	b.Run("pss", func(b *testing.B) {
+		benchRLS(b, "pss", core.PSS{M: sim.DTW{}})
+	})
+}
+
+// writeRLSJSON dumps the collected learned-search benchmark results;
+// called from TestMain alongside writeScanJSON.
+func writeRLSJSON() {
+	rlsMu.Lock()
+	defer rlsMu.Unlock()
+	if len(rlsResults) == 0 {
+		return
+	}
+	path := os.Getenv("BENCH_RLS_OUT")
+	if path == "" {
+		path = "BENCH_rls.json"
+	}
+	data, err := json.MarshalIndent(rlsResults, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal rls results: %v\n", err)
+		return
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("rls benchmark results written to %s\n", path)
+}

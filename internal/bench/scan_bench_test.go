@@ -146,5 +146,6 @@ func writeScanJSON() {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	writeScanJSON()
+	writeRLSJSON()
 	os.Exit(code)
 }

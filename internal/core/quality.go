@@ -1,0 +1,94 @@
+package core
+
+import (
+	"simsub/internal/rl"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// This file is the shared scorer of the paper's serving-quality
+// measurements (Tables 4–5) for the approximate searches: the engine's
+// sampled telemetry (engine.sampleQuality) and the offline benchmark
+// (internal/bench BenchmarkRLS) both call ScoreApproxQuality, so the two
+// surfaces can never diverge on what "approximation ratio" means.
+
+// RankedAnswer is one entry of a ranking handed to ScoreApproxQuality: an
+// opaque trajectory identifier (consistent between the approximate and
+// exact rankings), the trajectory itself, and the search result.
+type RankedAnswer struct {
+	ID int
+	T  traj.Trajectory
+	R  Result
+}
+
+// ApproxQuality aggregates one ranking comparison.
+type ApproxQuality struct {
+	// ApproxRatio is the mean over ranking positions of the approximate
+	// answer's exact re-scored distance divided by the exact ranking's
+	// distance at the same position (positions whose exact distance is 0
+	// contribute 1 when the re-scored distance is also 0, and are dropped
+	// otherwise — the ratio is undefined against a 0-distance exact
+	// answer). 1.0 means exact-quality answers. Meaningful only when
+	// RatioPositions > 0.
+	ApproxRatio float64
+	// RatioPositions counts the positions ApproxRatio averages over; 0
+	// means every position had a 0-distance exact answer the approximate
+	// search missed, leaving the ratio undefined.
+	RatioPositions int
+	// MeanRank is the mean 1-based position of each approximate answer's
+	// trajectory within the exact ranking, counting absent trajectories as
+	// len(exact)+1.
+	MeanRank float64
+	// SkippedFraction is the mean fraction of data points the policy never
+	// scanned across the approximate ranking's trajectories (0 unless a
+	// skip policy was supplied).
+	SkippedFraction float64
+}
+
+// ScoreApproxQuality compares an approximate ranking against the exact
+// ranking computed over the same candidates, query and k. p, when non-nil
+// with skip actions, additionally prices the skipped-point fraction (one
+// policy walk per approximate answer). ok is false when either ranking is
+// empty; MeanRank and SkippedFraction are always valid when ok, while
+// ApproxRatio is valid only when RatioPositions > 0.
+func ScoreApproxQuality(m sim.Measure, p *rl.Policy, q traj.Trajectory, approx, exact []RankedAnswer) (ApproxQuality, bool) {
+	if len(approx) == 0 || len(exact) == 0 {
+		return ApproxQuality{}, false
+	}
+	rankOf := make(map[int]int, len(exact))
+	for i, e := range exact {
+		rankOf[e.ID] = i + 1
+	}
+	var ratioSum, rankSum, skipSum float64
+	ratios := 0
+	for i, a := range approx {
+		if i < len(exact) {
+			re := ExactDist(m, a.T, q, a.R)
+			switch ed := exact[i].R.Dist; {
+			case ed > 0:
+				ratioSum += re / ed
+				ratios++
+			case re == 0:
+				ratioSum++
+				ratios++
+			}
+		}
+		if r, ok := rankOf[a.ID]; ok {
+			rankSum += float64(r)
+		} else {
+			rankSum += float64(len(exact) + 1)
+		}
+		if p != nil && p.K > 0 {
+			skipSum += SkippedFraction(m, p, a.T, q)
+		}
+	}
+	out := ApproxQuality{
+		RatioPositions:  ratios,
+		MeanRank:        rankSum / float64(len(approx)),
+		SkippedFraction: skipSum / float64(len(approx)),
+	}
+	if ratios > 0 {
+		out.ApproxRatio = ratioSum / float64(ratios)
+	}
+	return out, true
+}

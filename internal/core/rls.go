@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"simsub/internal/rl"
 	"simsub/internal/sim"
 	"simsub/internal/traj"
@@ -35,7 +37,13 @@ func (a RLS) Name() string {
 
 // Search implements Algorithm: it walks the splitting MDP taking greedy
 // policy actions and returns the best subtrajectory the walk exposes.
+// A nil policy or an empty trajectory on either side yields the empty
+// result (infinite distance, zero interval) instead of panicking, matching
+// ExactS's behavior on an empty data trajectory.
 func (a RLS) Search(t, q traj.Trajectory) Result {
+	if a.Policy == nil || a.Policy.Net == nil || t.Len() == 0 || q.Len() == 0 {
+		return Result{Dist: math.Inf(1)}
+	}
 	env := rl.NewSplitEnv(a.M, t, q, rl.EnvConfig{
 		UseSuffix:     a.Policy.UseSuffix,
 		SimplifyState: a.Policy.SimplifyState,
@@ -47,10 +55,39 @@ func (a RLS) Search(t, q traj.Trajectory) Result {
 	return Result{Interval: iv, Dist: d, Explored: env.Explored()}
 }
 
+// NewThresholdSearch implements ThresholdSearcher for the learned searches.
+// RLS is approximate: with simplified state maintenance its tracked
+// distances can undercut the exact measure value, so the exact-only
+// lower-bound cascade (which bounds true subtrajectory distances) could
+// prune a candidate whose tracked answer would have entered the ranking.
+// The threshold therefore acts purely as a post-filter — the walk always
+// runs, and a completed result strictly beyond tau is suppressed, which is
+// exactly what the top-k heap would do. Rankings stay byte-identical to an
+// unpruned RLS scan.
+func (a RLS) NewThresholdSearch(q traj.Trajectory) ThresholdSearch {
+	return &rlsThresholdSearch{a: a, q: q}
+}
+
+type rlsThresholdSearch struct {
+	a RLS
+	q traj.Trajectory
+}
+
+func (s *rlsThresholdSearch) Search(t traj.Trajectory, meta TrajMeta, tau float64) (Result, Pruned) {
+	r := s.a.Search(t, s.q)
+	if r.Dist > tau {
+		return r, PrunedAbandon
+	}
+	return r, NotPruned
+}
+
+func (s *rlsThresholdSearch) Release() {}
+
 // SkippedFraction runs the policy over the pair and reports the fraction of
-// data points never scanned (Table 5's "Skip Pts" column).
+// data points never scanned (Table 5's "Skip Pts" column). A nil policy or
+// an empty trajectory on either side skips nothing.
 func SkippedFraction(m sim.Measure, p *rl.Policy, t, q traj.Trajectory) float64 {
-	if t.Len() == 0 {
+	if p == nil || p.Net == nil || t.Len() == 0 || q.Len() == 0 {
 		return 0
 	}
 	env := rl.NewSplitEnv(m, t, q, rl.EnvConfig{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -198,5 +199,127 @@ func TestRLSTrainedBeatsNeverSplitOnStructuredData(t *testing.T) {
 	}
 	if sumTrained > sumNever*1.05 {
 		t.Errorf("trained policy (%v) notably worse than never-split baseline (%v)", sumTrained, sumNever)
+	}
+}
+
+func TestRLSSearchGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	data := randTraj(rng, 8)
+	q := randTraj(rng, 3)
+	p := constPolicy(0, 0, true, false)
+	cases := []struct {
+		name string
+		alg  RLS
+		t, q traj.Trajectory
+	}{
+		{"nil policy", RLS{M: sim.DTW{}}, data, q},
+		{"netless policy", RLS{M: sim.DTW{}, Policy: &rl.Policy{}}, data, q},
+		{"empty data", RLS{M: sim.DTW{}, Policy: p}, traj.Trajectory{}, q},
+		{"empty query", RLS{M: sim.DTW{}, Policy: p}, data, traj.Trajectory{}},
+	}
+	for _, c := range cases {
+		got := c.alg.Search(c.t, c.q) // must not panic
+		if !math.IsInf(got.Dist, 1) || got.Explored != 0 {
+			t.Errorf("%s: Search = %+v, want empty Inf result", c.name, got)
+		}
+	}
+	// Name on a nil policy must not panic either
+	if got := (RLS{M: sim.DTW{}}).Name(); got != "RLS" {
+		t.Errorf("nil-policy Name = %q", got)
+	}
+}
+
+func TestSkippedFractionGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	data := randTraj(rng, 8)
+	q := randTraj(rng, 3)
+	if f := SkippedFraction(sim.DTW{}, nil, data, q); f != 0 {
+		t.Errorf("nil policy skipped %v", f)
+	}
+	if f := SkippedFraction(sim.DTW{}, constPolicy(2, 1, false, true), traj.Trajectory{}, q); f != 0 {
+		t.Errorf("empty data skipped %v", f)
+	}
+	if f := SkippedFraction(sim.DTW{}, constPolicy(2, 1, false, true), data, traj.Trajectory{}); f != 0 {
+		t.Errorf("empty query skipped %v", f)
+	}
+}
+
+// TestRLSThresholdScanMatchesUnpruned is the approximate-path counterpart
+// of the pruned≡unpruned equivalence matrix: the threshold acts only as a
+// post-filter for RLS, so a TopKPrunedCtx ranking must be byte-identical
+// to ranking every candidate's direct RLS.Search result.
+func TestRLSThresholdScanMatchesUnpruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	ts := make([]traj.Trajectory, 60)
+	for i := range ts {
+		ts[i] = randTraj(rng, rng.Intn(18)+4)
+	}
+	q := randTraj(rng, 5)
+	for _, p := range []*rl.Policy{
+		constPolicy(0, 0, true, false),  // RLS, never split
+		constPolicy(1, 0, true, false),  // RLS, always split
+		constPolicy(2, 1, false, true),  // RLS-Skip, skip 1, simplified state
+		constPolicy(3, 2, false, false), // skip 2, full state
+	} {
+		alg := RLS{M: sim.DTW{}, Policy: p}
+		if _, ok := Algorithm(alg).(ThresholdSearcher); !ok {
+			t.Fatal("RLS does not implement ThresholdSearcher")
+		}
+		db := NewDatabase(ts, false)
+		for _, k := range []int{1, 5, 20} {
+			var st PruneStats
+			got, err := db.TopKPrunedCtx(context.Background(), alg, q, k, nil, NewSharedKth(k), &st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// reference: direct per-trajectory invocation, ranked
+			h := topKHeap{k: k}
+			for i, dt := range ts {
+				h.offer(Match{TrajIndex: i, Result: alg.Search(dt, q)})
+			}
+			want := h.sorted()
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d: got %d matches, want %d", alg.Name(), k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s k=%d rank %d: got %+v, want %+v", alg.Name(), k, i, got[i], want[i])
+				}
+			}
+			if st.LBSkipped != 0 {
+				t.Errorf("%s: approximate scan used the lower-bound cascade (%d LB skips)", alg.Name(), st.LBSkipped)
+			}
+		}
+	}
+}
+
+func TestScoreApproxQualityUndefinedRatio(t *testing.T) {
+	// when every position's exact answer has distance 0 and the approximate
+	// answer missed it, the ratio is undefined but rank/skip still score
+	data := traj.FromXY(0, 0, 1, 0, 2, 0)
+	q := traj.FromXY(0, 0, 1, 0)
+	approx := []RankedAnswer{{ID: 7, T: data, R: Result{Interval: traj.Interval{I: 1, J: 2}, Dist: 1}}}
+	exact := []RankedAnswer{{ID: 7, T: data, R: Result{Interval: traj.Interval{I: 0, J: 1}, Dist: 0}}}
+	res, ok := ScoreApproxQuality(sim.DTW{}, nil, q, approx, exact)
+	if !ok {
+		t.Fatal("comparison with non-empty rankings reported not ok")
+	}
+	if res.RatioPositions != 0 {
+		t.Errorf("RatioPositions = %d, want 0", res.RatioPositions)
+	}
+	if res.MeanRank != 1 {
+		t.Errorf("MeanRank = %v, want 1", res.MeanRank)
+	}
+
+	// a 0-distance exact answer the approximate search also hit scores 1
+	approx[0].R = exact[0].R
+	res, ok = ScoreApproxQuality(sim.DTW{}, nil, q, approx, exact)
+	if !ok || res.RatioPositions != 1 || res.ApproxRatio != 1 {
+		t.Errorf("matched zero-distance position: %+v ok=%v, want ratio 1 over 1 position", res, ok)
+	}
+
+	// empty rankings are not scorable
+	if _, ok := ScoreApproxQuality(sim.DTW{}, nil, q, nil, exact); ok {
+		t.Error("empty approximate ranking scored")
 	}
 }

@@ -16,9 +16,16 @@ import (
 // older store version become unreachable and age out of the LRU instead of
 // being served stale. Every spec dimension that changes the ranking is
 // part of the key — measure/algorithm names and their parameter overrides,
-// k, the spatial filter, distinct collapsing — while offset/limit are
-// deliberately absent: pages are windows over the cached full ranking, so
-// every page of a query hits the same entry.
+// k, the spatial filter, distinct collapsing, and for the learned searches
+// the fingerprint of the policy that computed the ranking — while
+// offset/limit are deliberately absent: pages are windows over the cached
+// full ranking, so every page of a query hits the same entry.
+//
+// The policy fingerprint makes hot swaps cache-correct without any
+// locking: a query pins the policy it resolved, so a ranking that raced a
+// swap is keyed under the old fingerprint, which no post-swap lookup can
+// construct — the cache can never serve a ranking computed under a policy
+// other than the currently registered one.
 type cacheKey struct {
 	gen       uint64
 	measure   string
@@ -28,11 +35,13 @@ type cacheKey struct {
 	filter    geo.Rect
 	hasFilter bool
 	distinct  bool
+	policy    uint64
 	digest    uint64
 }
 
-// cacheKeyFor derives the ranking's cache key from the query spec.
-func (e *Engine) cacheKeyFor(q Query) cacheKey {
+// cacheKeyFor derives the ranking's cache key from the query spec and the
+// fingerprint of the resolved policy (0 for non-learned algorithms).
+func (e *Engine) cacheKeyFor(q Query, policyFP uint64) cacheKey {
 	key := cacheKey{
 		gen:      e.gen.Load(),
 		measure:  q.Measure,
@@ -40,6 +49,7 @@ func (e *Engine) cacheKeyFor(q Query) cacheKey {
 		k:        q.K,
 		params:   q.Params,
 		distinct: q.Distinct,
+		policy:   policyFP,
 		digest:   digest(q.Q),
 	}
 	if q.Filter != nil {

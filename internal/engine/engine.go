@@ -63,6 +63,12 @@ type Config struct {
 	CacheSize int
 	// Index is the per-shard pruning structure (default RTree).
 	Index IndexKind
+	// QualitySample is the fraction of uncached learned-search (RLS /
+	// RLS-Skip) queries whose ranking is re-scored against the exact
+	// ranking to feed the approximation-ratio / mean-rank / skipped-
+	// fraction serving metrics (see Stats). 0 disables sampling; each
+	// sample costs one ExactS scan over the query's candidates.
+	QualitySample float64
 }
 
 func (c *Config) fill() {
@@ -148,6 +154,17 @@ type Stats struct {
 	CandidatesSeen int64 `json:"candidates_seen"`
 	LBSkipped      int64 `json:"lb_skipped"`
 	EarlyAbandoned int64 `json:"early_abandoned"`
+
+	// Learned-search serving state and sampled quality aggregates (see
+	// Config.QualitySample and sampleQuality for the exact definitions).
+	PolicyLoaded      bool    `json:"policy_loaded"`
+	PolicyName        string  `json:"policy_name,omitempty"`
+	PolicyFingerprint string  `json:"policy_fingerprint,omitempty"`
+	RLSQueries        int64   `json:"rls_queries"`
+	QualitySamples    int64   `json:"quality_samples"`
+	ApproxRatio       float64 `json:"approx_ratio"`
+	MeanRank          float64 `json:"mean_rank"`
+	SkippedFraction   float64 `json:"skipped_fraction"`
 }
 
 // shard is one partition of the store: a slice of trajectories (global IDs
@@ -213,6 +230,12 @@ type Engine struct {
 	candSeen  atomic.Int64
 	lbSkipped atomic.Int64
 	abandoned atomic.Int64
+
+	// policy is the registered DQN splitting policy serving "rls" /
+	// "rls-skip" (nil until SetPolicy); see policy.go.
+	policy     atomic.Pointer[policyEntry]
+	rlsQueries atomic.Int64
+	quality    qualityTracker
 }
 
 // recordPrune folds one query's pruning counters into the engine totals.
@@ -361,6 +384,12 @@ func ResolveQuery(measure, algorithm string, p Params) (core.Algorithm, error) {
 		}
 		return core.POSD{M: m, D: p.POSDelay}, nil
 	}
+	if isRLSAlgorithm(algorithm) {
+		// the learned searches bind a trained policy, which lives in an
+		// engine's registry — resolvable only through Engine.ResolveAlgorithm
+		return nil, api.Errorf(api.CodeInvalidArgument,
+			"algorithm %q requires a loaded policy; resolve it through an engine with one registered", algorithm)
+	}
 	alg, ok := core.AlgorithmFor(algorithm, m)
 	if !ok {
 		return nil, api.Errorf(api.CodeInvalidArgument, "unknown algorithm %q", algorithm)
@@ -368,9 +397,10 @@ func ResolveQuery(measure, algorithm string, p Params) (core.Algorithm, error) {
 	return alg, nil
 }
 
-// Resolve builds the measure and algorithm a query names.
+// Resolve builds the measure and algorithm a query names, binding the
+// learned searches ("rls", "rls-skip") to the engine's registered policy.
 func (e *Engine) Resolve(q Query) (core.Algorithm, error) {
-	return ResolveQuery(q.Measure, q.Algorithm, q.Params)
+	return e.ResolveAlgorithm(q.Measure, q.Algorithm, q.Params)
 }
 
 // validateQuery rejects malformed queries with typed invalid_argument
@@ -465,30 +495,11 @@ func (e *Engine) TopK(ctx context.Context, q Query) (matches []Match, cached boo
 	return page, cached, err
 }
 
-// topK is TopK also returning the full (unpaged) ranking, which the API
-// adapter reports as the result's Total.
-func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached bool, err error) {
-	if aerr := e.validateQuery(q); aerr != nil {
-		return nil, nil, false, aerr
-	}
-	alg, err := e.Resolve(q)
-	if err != nil {
-		return nil, nil, false, err
-	}
-	e.queries.Add(1)
-	e.inflight.Add(1)
-	defer e.inflight.Add(-1)
-
-	var key cacheKey
-	if e.cache != nil {
-		key = e.cacheKeyFor(q)
-		if ms, ok := e.cache.get(key, q.Q); ok {
-			e.hits.Add(1)
-			return ms, pageOf(ms, q.Offset, q.Limit), true, nil
-		}
-		e.misses.Add(1)
-	}
-
+// scatter fans the search out — one bounded task per shard, every worker
+// sharing the running global k-th-best — and k-way merges the per-shard
+// ascending lists into the global top-k. It is the common scan core of topK
+// and of the quality sampler's exact rescans.
+func (e *Engine) scatter(ctx context.Context, alg core.Algorithm, q Query) ([]Match, core.PruneStats, error) {
 	// the shared best-so-far: every shard worker offers its matches here
 	// and reads the running GLOBAL k-th-best back, so one shard's good
 	// matches prune another shard's scan
@@ -512,17 +523,57 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 		}(i, s)
 	}
 	wg.Wait()
+	var prune core.PruneStats
 	for _, serr := range errs {
 		if serr != nil {
-			return nil, nil, false, serr
+			return nil, prune, serr
 		}
 	}
-	var prune core.PruneStats
 	for i := range stats {
 		prune.Add(stats[i])
 	}
+	return mergeTopK(perShard, q.K), prune, nil
+}
+
+// topK is TopK also returning the full (unpaged) ranking, which the API
+// adapter reports as the result's Total.
+func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached bool, err error) {
+	if aerr := e.validateQuery(q); aerr != nil {
+		return nil, nil, false, aerr
+	}
+	alg, policyFP, err := e.resolveAlg(q.Measure, q.Algorithm, q.Params)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	e.queries.Add(1)
+	if _, ok := alg.(core.RLS); ok {
+		e.rlsQueries.Add(1)
+	}
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+
+	var key cacheKey
+	if e.cache != nil {
+		key = e.cacheKeyFor(q, policyFP)
+		if ms, ok := e.cache.get(key, q.Q); ok {
+			e.hits.Add(1)
+			return ms, pageOf(ms, q.Offset, q.Limit), true, nil
+		}
+		e.misses.Add(1)
+	}
+
+	gen := e.gen.Load()
+	merged, prune, err := e.scatter(ctx, alg, q)
+	if err != nil {
+		return nil, nil, false, err
+	}
 	e.recordPrune(prune)
-	merged := mergeTopK(perShard, q.K)
+	// sampled serving quality of the learned searches: compare this ranking
+	// against the exact one over the same snapshot — before distinct
+	// collapsing, which the exact reference scan does not apply
+	if rls, ok := alg.(core.RLS); ok && e.quality.sampled(e.cfg.QualitySample) {
+		e.sampleQuality(ctx, q, rls, merged, gen)
+	}
 	if q.Distinct {
 		merged = e.collapseDuplicates(merged)
 	}
@@ -592,7 +643,7 @@ func mergeTopK(perShard [][]Match, k int) []Match {
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Trajectories:   e.Len(),
 		Points:         int(e.points.Load()),
 		Shards:         len(e.shards),
@@ -605,5 +656,13 @@ func (e *Engine) Stats() Stats {
 		CandidatesSeen: e.candSeen.Load(),
 		LBSkipped:      e.lbSkipped.Load(),
 		EarlyAbandoned: e.abandoned.Load(),
+		RLSQueries:     e.rlsQueries.Load(),
 	}
+	if info, ok := e.Policy(); ok {
+		st.PolicyLoaded = true
+		st.PolicyName = info.Name
+		st.PolicyFingerprint = info.Fingerprint
+	}
+	st.QualitySamples, st.ApproxRatio, st.MeanRank, st.SkippedFraction = e.quality.snapshot()
+	return st
 }

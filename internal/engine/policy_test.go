@@ -1,0 +1,368 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"simsub/api"
+	"simsub/internal/core"
+	"simsub/internal/nn"
+	"simsub/internal/rl"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// testPolicy builds a deterministic constant-action policy, the same
+// construction as core's RLS tests: zeroed weights and a bias bump on the
+// chosen action.
+func testPolicy(action, k int, useSuffix, simplify bool) *rl.Policy {
+	dim := rl.StateDim(useSuffix)
+	net := nn.NewMLP([]int{dim, 2, 2 + k}, []nn.Activation{nn.ReLU, nn.Sigmoid}, rand.New(rand.NewSource(1)))
+	for _, l := range net.Layers {
+		for i := range l.W.W {
+			l.W.W[i] = 0
+		}
+		for i := range l.B.W {
+			l.B.W[i] = -5
+		}
+	}
+	net.Layers[len(net.Layers)-1].B.W[action] = 5
+	return &rl.Policy{Net: net, K: k, UseSuffix: useSuffix, SimplifyState: simplify}
+}
+
+func wantInvalidArgument(t *testing.T, err error, context string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: no error", context)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeInvalidArgument {
+		t.Fatalf("%s: error %v is not a typed invalid_argument", context, err)
+	}
+}
+
+func TestSetPolicyValidates(t *testing.T) {
+	e := New(Config{Shards: 2})
+	if _, err := e.SetPolicy(nil); err == nil {
+		t.Error("nil policy registered")
+	} else {
+		wantInvalidArgument(t, err, "nil policy")
+	}
+	bad := testPolicy(0, 1, false, true)
+	bad.K = -3
+	_, err := e.SetPolicy(bad)
+	wantInvalidArgument(t, err, "negative-K policy")
+	if _, ok := e.Policy(); ok {
+		t.Fatal("rejected swap left a policy registered")
+	}
+
+	info, err := e.SetPolicy(testPolicy(0, 2, false, true))
+	if err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	if info.Name != "RLS-Skip+" || info.K != 2 || info.Fingerprint == "" {
+		t.Errorf("info = %+v", info)
+	}
+	got, ok := e.Policy()
+	if !ok || got != info {
+		t.Errorf("Policy() = %+v, %v; want %+v", got, ok, info)
+	}
+}
+
+func TestRLSResolutionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	e := New(Config{Shards: 2})
+	e.Add(randSet(rng, 10))
+	q := Query{Q: randTraj(rng, 5), K: 3, Measure: "dtw", Algorithm: "rls"}
+
+	// no policy loaded: both learned names are typed invalid_argument
+	for _, algo := range []string{"rls", "rls-skip"} {
+		q.Algorithm = algo
+		_, _, err := e.TopK(context.Background(), q)
+		wantInvalidArgument(t, err, "no-policy "+algo)
+	}
+	// package-level resolution can never bind a policy
+	_, err := ResolveQuery("dtw", "rls", Params{})
+	wantInvalidArgument(t, err, "package-level rls")
+
+	// kind mismatches: a split-only policy cannot serve "rls-skip" and a
+	// skip policy cannot serve "rls"
+	if _, err := e.SetPolicy(testPolicy(0, 0, true, false)); err != nil {
+		t.Fatal(err)
+	}
+	q.Algorithm = "rls-skip"
+	_, _, err = e.TopK(context.Background(), q)
+	wantInvalidArgument(t, err, "rls-skip with split-only policy")
+	if _, err := e.SetPolicy(testPolicy(0, 3, true, true)); err != nil {
+		t.Fatal(err)
+	}
+	q.Algorithm = "rls"
+	_, _, err = e.TopK(context.Background(), q)
+	wantInvalidArgument(t, err, "rls with skip policy")
+
+	// parameter scoping holds for the learned searches too
+	q.Algorithm = "rls-skip"
+	q.Params = Params{POSDelay: 3}
+	_, _, err = e.TopK(context.Background(), q)
+	wantInvalidArgument(t, err, "pos_delay on rls-skip")
+}
+
+// directRLS ranks every trajectory's direct core.RLS answer by the global
+// ranking order — the flat reference an engine with ScanAll shards must
+// reproduce byte-identically.
+func directRLS(ts []traj.Trajectory, alg core.RLS, q traj.Trajectory, k int) []Match {
+	all := make([]Match, 0, len(ts))
+	for id, dt := range ts {
+		all = append(all, Match{TrajID: id, Result: alg.Search(dt, q)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return core.RankBefore(all[i].Result.Dist, all[i].TrajID, all[i].Result.Interval,
+			all[j].Result.Dist, all[j].TrajID, all[j].Result.Interval)
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestEngineRLSMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ts := randSet(rng, 50)
+	q := randTraj(rng, 6)
+	for _, tc := range []struct {
+		algo   string
+		policy *rl.Policy
+	}{
+		{"rls", testPolicy(0, 0, true, false)},
+		{"rls", testPolicy(1, 0, true, false)},
+		{"rls-skip", testPolicy(2, 2, false, true)},
+	} {
+		for _, shards := range []int{1, 4} {
+			e := New(Config{Shards: shards, Index: ScanAll})
+			e.Add(ts)
+			if _, err := e.SetPolicy(tc.policy); err != nil {
+				t.Fatal(err)
+			}
+			got, cached, err := e.TopK(context.Background(), Query{
+				Q: q, K: 10, Measure: "dtw", Algorithm: tc.algo,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cached {
+				t.Fatal("first query reported cached")
+			}
+			want := directRLS(ts, core.RLS{M: mustMeasure(t, "dtw"), Policy: tc.policy}, q, 10)
+			if len(got) != len(want) {
+				t.Fatalf("%s shards=%d: %d matches, want %d", tc.algo, shards, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s shards=%d rank %d: got %+v, want %+v", tc.algo, shards, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPolicySwapInvalidatesCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	ts := randSet(rng, 40)
+	q := randTraj(rng, 6)
+	e := New(Config{Shards: 3, Index: ScanAll, CacheSize: 64})
+	e.Add(ts)
+
+	never := testPolicy(0, 0, true, false)  // never split
+	always := testPolicy(1, 0, true, false) // always split: very different rankings
+	if _, err := e.SetPolicy(never); err != nil {
+		t.Fatal(err)
+	}
+	spec := Query{Q: q, K: 8, Measure: "dtw", Algorithm: "rls"}
+	first, cached, err := e.TopK(context.Background(), spec)
+	if err != nil || cached {
+		t.Fatalf("first query: cached=%v err=%v", cached, err)
+	}
+	_, cached, err = e.TopK(context.Background(), spec)
+	if err != nil || !cached {
+		t.Fatalf("repeat query: cached=%v err=%v, want a cache hit", cached, err)
+	}
+
+	if _, err := e.SetPolicy(always); err != nil {
+		t.Fatal(err)
+	}
+	swapped, cached, err := e.TopK(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("post-swap query served from cache: stale-policy ranking")
+	}
+	want := directRLS(ts, core.RLS{M: mustMeasure(t, "dtw"), Policy: always}, q, 8)
+	for i := range swapped {
+		if swapped[i] != want[i] {
+			t.Fatalf("post-swap rank %d: got %+v, want %+v", i, swapped[i], want[i])
+		}
+	}
+	// sanity: the two policies actually disagree, so the test proves a swap
+	// changes answers rather than comparing identical rankings
+	same := len(first) == len(swapped)
+	if same {
+		for i := range first {
+			if first[i] != swapped[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("never-split and always-split rankings coincide; test is vacuous")
+	}
+
+	// swapping back must not resurrect the original entry either: the purge
+	// freed it and the generation of trust is the fingerprint
+	if _, err := e.SetPolicy(never); err != nil {
+		t.Fatal(err)
+	}
+	back, cached, err := e.TopK(context.Background(), spec)
+	if err != nil || cached {
+		t.Fatalf("swap-back query: cached=%v err=%v", cached, err)
+	}
+	for i := range back {
+		if back[i] != first[i] {
+			t.Fatalf("swap-back rank %d: got %+v, want %+v", i, back[i], first[i])
+		}
+	}
+}
+
+// TestConcurrentPolicySwap hammers queries and swaps concurrently: every
+// returned ranking must equal one of the two policies' direct rankings
+// (never a mixture), with no races under -race.
+func TestConcurrentPolicySwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	ts := randSet(rng, 30)
+	q := randTraj(rng, 5)
+	e := New(Config{Shards: 2, Index: ScanAll, CacheSize: 32})
+	e.Add(ts)
+
+	pols := []*rl.Policy{testPolicy(0, 0, true, false), testPolicy(1, 0, true, false)}
+	m := mustMeasure(t, "dtw")
+	wants := make([][]Match, len(pols))
+	for i, p := range pols {
+		wants[i] = directRLS(ts, core.RLS{M: m, Policy: p}, q, 5)
+	}
+	if _, err := e.SetPolicy(pols[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.SetPolicy(pols[i%2]); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+		}
+	}()
+	var queriers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			for i := 0; i < 50; i++ {
+				got, _, err := e.TopK(context.Background(), Query{Q: q, K: 5, Measure: "dtw", Algorithm: "rls"})
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if !matchesEqual(got, wants[0]) && !matchesEqual(got, wants[1]) {
+					t.Errorf("ranking matches neither policy: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+	queriers.Wait()
+	close(stop)
+	swapper.Wait()
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQualitySampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	ts := randSet(rng, 40)
+	e := New(Config{Shards: 2, Index: ScanAll, QualitySample: 1})
+	e.Add(ts)
+	if _, err := e.SetPolicy(testPolicy(2, 1, false, true)); err != nil { // skip policy
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		q := Query{Q: randTraj(rng, 5), K: 5, Measure: "dtw", Algorithm: "rls-skip"}
+		if _, _, err := e.TopK(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.RLSQueries != 3 {
+		t.Errorf("RLSQueries = %d, want 3", st.RLSQueries)
+	}
+	if st.QualitySamples != 3 {
+		t.Errorf("QualitySamples = %d, want 3", st.QualitySamples)
+	}
+	if st.ApproxRatio < 1-1e-9 {
+		t.Errorf("ApproxRatio = %v, want >= 1 (approximate cannot beat exact)", st.ApproxRatio)
+	}
+	if st.MeanRank < 1 || st.MeanRank > 6 {
+		t.Errorf("MeanRank = %v, want within [1, k+1]", st.MeanRank)
+	}
+	if st.SkippedFraction <= 0 || st.SkippedFraction >= 1 {
+		t.Errorf("SkippedFraction = %v, want in (0, 1) for a constant-skip policy", st.SkippedFraction)
+	}
+	if !st.PolicyLoaded || st.PolicyName != "RLS-Skip+" || st.PolicyFingerprint == "" {
+		t.Errorf("policy stats = %+v", st)
+	}
+
+	// sampling off: counters must not move
+	e2 := New(Config{Shards: 2, Index: ScanAll})
+	e2.Add(ts)
+	if _, err := e2.SetPolicy(testPolicy(0, 0, true, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e2.TopK(context.Background(), Query{Q: randTraj(rng, 5), K: 5, Measure: "dtw", Algorithm: "rls"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.QualitySamples != 0 {
+		t.Errorf("QualitySamples = %d with sampling disabled", st.QualitySamples)
+	}
+}
+
+func mustMeasure(t *testing.T, name string) sim.Measure {
+	t.Helper()
+	m, err := sim.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -99,17 +99,20 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 	if aerr := e.validateQuery(q); aerr != nil {
 		return nil, nil, false, aerr
 	}
-	alg, err := e.Resolve(q)
+	alg, policyFP, err := e.resolveAlg(q.Measure, q.Algorithm, q.Params)
 	if err != nil {
 		return nil, nil, false, err
 	}
 	e.queries.Add(1)
+	if _, ok := alg.(core.RLS); ok {
+		e.rlsQueries.Add(1)
+	}
 	e.inflight.Add(1)
 	defer e.inflight.Add(-1)
 
 	var key cacheKey
 	if e.cache != nil {
-		key = e.cacheKeyFor(q)
+		key = e.cacheKeyFor(q, policyFP)
 		if ms, ok := e.cache.get(key, q.Q); ok {
 			e.hits.Add(1)
 			page := pageOf(ms, q.Offset, q.Limit)

@@ -3,6 +3,7 @@ package rl
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"simsub/internal/nn"
@@ -32,6 +33,63 @@ func (p *Policy) Action(state []float64) int {
 // NumActions returns the policy's action-space size.
 func (p *Policy) NumActions() int { return 2 + p.K }
 
+// MaxSkipActions bounds the skip-action count K a policy may declare. The
+// paper uses single-digit K; the bound exists so a corrupted or hostile
+// policy file cannot declare an absurd action space.
+const MaxSkipActions = 64
+
+// PolicyError reports an invalid or internally inconsistent policy — a
+// corrupted file, a network whose shape does not match the declared MDP, or
+// non-finite weights. It is the typed error of Load and Policy.Validate, so
+// callers can distinguish bad policies from I/O failures with errors.As.
+type PolicyError struct {
+	// Reason says what is wrong, for humans.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *PolicyError) Error() string { return "rl: invalid policy: " + e.Reason }
+
+func policyErrf(format string, args ...any) error {
+	return &PolicyError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks that the policy is safe to serve: the network exists, K
+// is within [0, MaxSkipActions], the input width matches the declared state
+// shape, the output width equals the 2+K action space (so Action can never
+// return an out-of-range action), and every weight is finite. It returns a
+// *PolicyError describing the first violation, or nil.
+func (p *Policy) Validate() error {
+	if p == nil {
+		return policyErrf("nil policy")
+	}
+	if p.Net == nil || len(p.Net.Layers) == 0 {
+		return policyErrf("policy has no network")
+	}
+	if p.K < 0 {
+		return policyErrf("negative skip-action count k=%d", p.K)
+	}
+	if p.K > MaxSkipActions {
+		return policyErrf("skip-action count k=%d exceeds the maximum %d", p.K, MaxSkipActions)
+	}
+	if in, want := p.Net.In(), StateDim(p.UseSuffix); in != want {
+		return policyErrf("network input width %d inconsistent with suffix flag (want %d)", in, want)
+	}
+	if out, want := p.Net.Out(), p.NumActions(); out != want {
+		return policyErrf("network output width %d inconsistent with k=%d (want %d)", out, p.K, want)
+	}
+	for li, l := range p.Net.Layers {
+		for _, ps := range []*nn.Tensor{l.W, l.B} {
+			for _, w := range ps.W {
+				if math.IsNaN(w) || math.IsInf(w, 0) {
+					return policyErrf("layer %d has a non-finite parameter", li)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Save serializes the policy (metadata header plus network weights).
 func (p *Policy) Save(w io.Writer) error {
 	suffix, simplify := 0, 0
@@ -47,26 +105,37 @@ func (p *Policy) Save(w io.Writer) error {
 	return nn.SaveMLP(w, p.Net)
 }
 
-// Load reads a policy written by Save.
+// Load reads a policy written by Save. The file is untrusted input: the
+// header's K and flag fields, the network's input/output widths and the
+// finiteness of every weight are all validated against the declared MDP
+// shape before the policy is returned, so a corrupted or hostile file
+// surfaces as a *PolicyError here instead of out-of-range actions (or NaN
+// rankings) at query time.
 func Load(r io.Reader) (*Policy, error) {
 	var tag string
 	var k, suffix, simplify int
 	if _, err := fmt.Fscanf(r, "%s %d %d %d\n", &tag, &k, &suffix, &simplify); err != nil {
-		return nil, fmt.Errorf("rl: reading policy header: %w", err)
+		return nil, policyErrf("reading policy header: %v", err)
 	}
 	if tag != "rlspolicy" {
-		return nil, fmt.Errorf("rl: bad policy header tag %q", tag)
+		return nil, policyErrf("bad policy header tag %q", tag)
+	}
+	if suffix != 0 && suffix != 1 {
+		return nil, policyErrf("suffix flag %d is not 0 or 1", suffix)
+	}
+	if simplify != 0 && simplify != 1 {
+		return nil, policyErrf("simplify flag %d is not 0 or 1", simplify)
+	}
+	if k < 0 || k > MaxSkipActions {
+		return nil, policyErrf("skip-action count k=%d outside [0, %d]", k, MaxSkipActions)
 	}
 	net, err := nn.LoadMLP(r)
 	if err != nil {
-		return nil, err
+		return nil, policyErrf("%v", err)
 	}
 	p := &Policy{Net: net, K: k, UseSuffix: suffix == 1, SimplifyState: simplify == 1}
-	if net.In() != StateDim(p.UseSuffix) {
-		return nil, fmt.Errorf("rl: network input %d inconsistent with suffix flag", net.In())
-	}
-	if net.Out() != p.NumActions() {
-		return nil, fmt.Errorf("rl: network output %d inconsistent with k=%d", net.Out(), k)
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

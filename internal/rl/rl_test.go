@@ -2,6 +2,7 @@ package rl
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -413,5 +414,102 @@ func TestMeanRecentReward(t *testing.T) {
 	}
 	if got := (TrainStats{}).MeanRecentReward(5); got != 0 {
 		t.Errorf("empty MeanRecentReward = %v, want 0", got)
+	}
+}
+
+// mangleHeader re-serializes a valid policy with a forged header line, so
+// each header-validation branch of Load can be exercised in isolation.
+func mangleHeader(t *testing.T, p *Policy, header string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	raw := buf.Bytes()
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		t.Fatal("no header line")
+	}
+	return append([]byte(header+"\n"), raw[nl+1:]...)
+}
+
+func TestPolicyLoadRejectsInsaneHeaders(t *testing.T) {
+	p := constantPolicy(1, 3, true)
+	cases := []struct {
+		name, header string
+	}{
+		{"bad tag", "notapolicy 3 1 0"},
+		{"negative k", "rlspolicy -1 1 0"},
+		{"huge k", "rlspolicy 4096 1 0"},
+		{"bad suffix flag", "rlspolicy 3 2 0"},
+		{"bad simplify flag", "rlspolicy 3 1 7"},
+		{"k mismatching net output", "rlspolicy 5 1 0"},
+		{"suffix flag mismatching net input", "rlspolicy 3 0 0"},
+	}
+	for _, c := range cases {
+		_, err := Load(bytes.NewReader(mangleHeader(t, p, c.header)))
+		if err == nil {
+			t.Errorf("%s: Load accepted header %q", c.name, c.header)
+			continue
+		}
+		var pe *PolicyError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a *PolicyError", c.name, err)
+		}
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := (*Policy)(nil).Validate(); err == nil {
+		t.Error("nil policy validated")
+	}
+	if err := (&Policy{}).Validate(); err == nil {
+		t.Error("netless policy validated")
+	}
+	ok := constantPolicy(0, 2, true)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	bad := constantPolicy(0, 2, true)
+	bad.K = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative K validated")
+	}
+	bad = constantPolicy(0, 2, true)
+	bad.K = MaxSkipActions + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("oversized K validated")
+	}
+	bad = constantPolicy(0, 2, true)
+	bad.UseSuffix = false // net input stays 3, StateDim says 2
+	if err := bad.Validate(); err == nil {
+		t.Error("suffix-flag/net-input mismatch validated")
+	}
+	bad = constantPolicy(0, 2, true)
+	bad.Net.Layers[0].W.W[0] = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN weight validated")
+	}
+	bad = constantPolicy(0, 2, true)
+	bad.Net.Layers[0].B.W[0] = math.Inf(1)
+	if err := bad.Validate(); err == nil {
+		t.Error("Inf bias validated")
+	}
+}
+
+func TestPolicyLoadRejectsNonFiniteWeights(t *testing.T) {
+	p := constantPolicy(0, 1, false)
+	p.Net.Layers[0].W.W[0] = math.NaN()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("Load accepted a NaN weight")
+	}
+	var pe *PolicyError
+	if !errors.As(err, &pe) {
+		t.Errorf("error %v is not a *PolicyError", err)
 	}
 }

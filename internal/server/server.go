@@ -92,6 +92,8 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("POST /v2/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("GET /v2/trajectories/{id}", s.handleGetTrajectory)
 	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v2/admin/policy", s.handlePolicySwap)
+	s.mux.HandleFunc("GET /v2/admin/policy", s.handlePolicyGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -246,7 +248,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Algorithm == "" {
 		req.Algorithm = api.DefaultSearchAlgorithm
 	}
-	alg, err := engine.ResolveQuery(req.Measure, req.Algorithm, engine.Params{})
+	// resolution goes through the engine so the learned searches ("rls",
+	// "rls-skip") bind the registered policy here exactly as on /v1/topk
+	// and /v2/query, and unknown names fail with the same typed
+	// invalid_argument errors on every route
+	alg, err := s.eng.ResolveAlgorithm(req.Measure, req.Algorithm, engine.Params{})
 	if err != nil {
 		writeErr(w, api.FromError(err))
 		return
@@ -296,18 +302,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.eng.Stats()
 	writeJSON(w, http.StatusOK, api.StatsResponse{
 		Engine: api.Stats{
-			Trajectories:   es.Trajectories,
-			Points:         es.Points,
-			Shards:         es.Shards,
-			Workers:        es.Workers,
-			Queries:        es.Queries,
-			CacheHits:      es.CacheHits,
-			CacheMisses:    es.CacheMisses,
-			CacheEntries:   es.CacheEntries,
-			InFlight:       es.InFlight,
-			CandidatesSeen: es.CandidatesSeen,
-			LBSkipped:      es.LBSkipped,
-			EarlyAbandoned: es.EarlyAbandoned,
+			Trajectories:      es.Trajectories,
+			Points:            es.Points,
+			Shards:            es.Shards,
+			Workers:           es.Workers,
+			Queries:           es.Queries,
+			CacheHits:         es.CacheHits,
+			CacheMisses:       es.CacheMisses,
+			CacheEntries:      es.CacheEntries,
+			InFlight:          es.InFlight,
+			CandidatesSeen:    es.CandidatesSeen,
+			LBSkipped:         es.LBSkipped,
+			EarlyAbandoned:    es.EarlyAbandoned,
+			PolicyLoaded:      es.PolicyLoaded,
+			PolicyName:        es.PolicyName,
+			PolicyFingerprint: es.PolicyFingerprint,
+			RLSQueries:        es.RLSQueries,
+			QualitySamples:    es.QualitySamples,
+			ApproxRatio:       es.ApproxRatio,
+			MeanRank:          es.MeanRank,
+			SkippedFraction:   es.SkippedFraction,
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),

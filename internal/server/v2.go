@@ -1,12 +1,17 @@
 package server
 
 import (
+	"bytes"
+	"encoding/base64"
 	"encoding/json"
+	"errors"
+	"io/fs"
 	"net/http"
 	"strconv"
 
 	"simsub/api"
 	"simsub/internal/engine"
+	"simsub/internal/rl"
 )
 
 // This file holds the v2 endpoints, which speak the api package's wire
@@ -104,6 +109,91 @@ func (s *Server) handleGetTrajectory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.TrajectoryRecord{ID: id, Trajectory: api.FromTraj(t)})
+}
+
+// policyInfoToAPI converts the engine's policy description to wire form.
+func policyInfoToAPI(info engine.PolicyInfo) api.PolicyInfo {
+	return api.PolicyInfo{
+		Name:          info.Name,
+		K:             info.K,
+		UseSuffix:     info.UseSuffix,
+		SimplifyState: info.SimplifyState,
+		Fingerprint:   info.Fingerprint,
+	}
+}
+
+// handlePolicySwap answers POST /v2/admin/policy: load a policy from a
+// server-local file path or inline base64 bytes, validate it, and register
+// it as the serving policy of the "rls" / "rls-skip" algorithms. The swap
+// purges the result cache and changes the policy fingerprint, so no cached
+// ranking computed under the previous policy can ever be served again. A
+// policy that fails validation (corrupted file, inconsistent network
+// shape, non-finite weights) is rejected with invalid_argument and the
+// previous registration keeps serving.
+func (s *Server) handlePolicySwap(w http.ResponseWriter, r *http.Request) {
+	var req api.PolicySwapRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if (req.Path == "") == (req.PolicyB64 == "") {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "exactly one of path or policy_b64 must be set"))
+		return
+	}
+	var (
+		p   *rl.Policy
+		err error
+	)
+	if req.Path != "" {
+		p, err = rl.LoadFile(req.Path)
+		if errors.Is(err, fs.ErrNotExist) {
+			writeErr(w, api.Errorf(api.CodeNotFound, "policy file %q does not exist", req.Path))
+			return
+		}
+		var perr *fs.PathError
+		if errors.As(err, &perr) {
+			// an I/O-level failure (permissions, directory, ...), not a bad
+			// policy — don't misdirect the operator toward re-training
+			writeErr(w, api.Errorf(api.CodeInternal, "reading policy file %q: %v", req.Path, perr.Err))
+			return
+		}
+		if err != nil {
+			// the parse error can echo fragments of the named file (e.g. a
+			// bad header tag), and this endpoint reads server-local paths —
+			// keep file contents out of the response
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "file %q is not a valid policy", req.Path))
+			return
+		}
+	} else {
+		var raw []byte
+		raw, err = base64.StdEncoding.DecodeString(req.PolicyB64)
+		if err != nil {
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "decoding policy_b64: %v", err))
+			return
+		}
+		// the caller supplied these bytes, so the parse error leaks nothing
+		p, err = rl.Load(bytes.NewReader(raw))
+		if err != nil {
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "loading policy: %v", err))
+			return
+		}
+	}
+	info, serr := s.eng.SetPolicy(p)
+	if serr != nil {
+		writeErr(w, api.FromError(serr))
+		return
+	}
+	writeJSON(w, http.StatusOK, policyInfoToAPI(info))
+}
+
+// handlePolicyGet answers GET /v2/admin/policy with the registered
+// policy's description, or a typed not_found when none is loaded.
+func (s *Server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.eng.Policy()
+	if !ok {
+		writeErr(w, api.Errorf(api.CodeNotFound, "no policy loaded"))
+		return
+	}
+	writeJSON(w, http.StatusOK, policyInfoToAPI(info))
 }
 
 // compile-time guarantee that the engine backing this server satisfies the

@@ -90,6 +90,10 @@ type (
 	EngineMatch = engine.Match
 	// EngineStats is a snapshot of Engine counters.
 	EngineStats = engine.Stats
+	// EnginePolicyInfo describes an Engine's registered RLS/RLS-Skip
+	// policy (Engine.SetPolicy / Engine.Policy); with one registered, the
+	// engine serves the learned "rls" / "rls-skip" algorithms.
+	EnginePolicyInfo = engine.PolicyInfo
 
 	// Searcher answers batched v2 queries; *Engine (in-process) and
 	// *Client (remote) both satisfy it, so local and remote search are
