@@ -91,6 +91,19 @@ type QuerySpec struct {
 	// POSDelay overrides the POS-D split delay (algorithm "pos-d" only).
 	POSDelay int `json:"pos_delay,omitempty"`
 
+	// Bound, when set, is a trusted upper bound on the ranking's final
+	// k-th-best distance: the server seeds its shared best-so-far
+	// threshold from it, so candidates provably farther than the bound
+	// are pruned before the local ranking fills. All pruning comparisons
+	// are strict, so matches at exactly the bound survive, but matches
+	// strictly beyond it may be omitted from the answer — callers must
+	// only pass bounds that make such matches irrelevant. This is the
+	// threshold-propagation channel of the distributed coordinator
+	// (simsubrouter), which ships its running global k-th-best to remote
+	// shards so they prune like local ones. Must be finite and
+	// non-negative.
+	Bound *float64 `json:"bound,omitempty"`
+
 	// Filter, when set, restricts the search to trajectories whose MBR
 	// intersects it; the restriction is pushed down to the per-shard
 	// indexes.
@@ -145,8 +158,35 @@ type QueryResult struct {
 	Cached bool `json:"cached"`
 	// Error is set when the spec failed; Matches is then empty.
 	Error *Error `json:"error,omitempty"`
+	// Partial, set only by the distributed coordinator, reports that one
+	// or more shard nodes could not be reached: Matches is then the exact
+	// ranking over the reachable portion of the corpus rather than an
+	// error. Single-node servers never set it.
+	Partial *Partial `json:"partial,omitempty"`
 	// TookMS is the spec's wall-clock search time.
 	TookMS float64 `json:"took_ms"`
+}
+
+// Partial is the typed degradation summary of a scatter-gather answer: the
+// coordinator could not reach every shard node, so the ranking covers only
+// the trajectories placed on the nodes that answered. Callers that require
+// complete answers should treat a non-nil Partial as a retryable failure;
+// callers that prefer availability can use the matches as-is.
+type Partial struct {
+	// NodesTotal is the number of shard groups the query was scattered to.
+	NodesTotal int `json:"nodes_total"`
+	// NodesFailed is how many of them yielded no answer.
+	NodesFailed int `json:"nodes_failed"`
+	// Failures carries one typed cause per failed group.
+	Failures []NodeFailure `json:"failures"`
+}
+
+// NodeFailure is one failed shard node of a degraded scatter-gather.
+type NodeFailure struct {
+	// Node is the failed node's base URL.
+	Node string `json:"node"`
+	// Err is the typed cause (timeout, overloaded, internal, ...).
+	Err Error `json:"error"`
 }
 
 // QueryResponse answers POST /v2/query: Results[i] belongs to Specs[i].
@@ -177,8 +217,11 @@ type StreamSummary struct {
 	Cached  bool    `json:"cached"`
 	// Emitted counts the provisional match records that preceded the
 	// summary.
-	Emitted int     `json:"emitted"`
-	TookMS  float64 `json:"took_ms"`
+	Emitted int `json:"emitted"`
+	// Partial reports coordinator-level degradation (see
+	// QueryResult.Partial); single-node servers never set it.
+	Partial *Partial `json:"partial,omitempty"`
+	TookMS  float64  `json:"took_ms"`
 }
 
 // LoadRequest is the body of POST /v1/trajectories.
@@ -268,6 +311,61 @@ type StatsResponse struct {
 	UptimeSeconds float64  `json:"uptime_seconds"`
 	Goroutines    int      `json:"goroutines"`
 	Measures      []string `json:"measures"`
+	// Router is set only by the distributed coordinator (simsubrouter):
+	// per-node health/latency and fleet-level hedge/retry/degradation
+	// counters. Single-node servers omit it; Engine then aggregates the
+	// reachable nodes' counters.
+	Router *RouterStats `json:"router,omitempty"`
+}
+
+// RouterStats is the coordinator tier's own telemetry: how the fleet is
+// behaving as seen from the front door.
+type RouterStats struct {
+	// Groups is the number of replica groups trajectories are placed on.
+	Groups int `json:"groups"`
+	// Replication is the number of nodes holding each trajectory.
+	Replication int `json:"replication"`
+	// Trajectories is the number of trajectories the router has placed.
+	Trajectories int `json:"trajectories"`
+	// Queries counts top-k specs answered by the router.
+	Queries int64 `json:"queries"`
+	// Hedges counts hedged replica requests launched after a node's
+	// latency-quantile delay expired.
+	Hedges int64 `json:"hedges"`
+	// Retries counts per-node request retries (backoff on overload or
+	// transient network failure).
+	Retries int64 `json:"retries"`
+	// PartialResults counts answers served with a Partial degradation
+	// summary because at least one shard group was unreachable.
+	PartialResults int64 `json:"partial_results"`
+	// BoundsPropagated counts scatter waves that shipped a running
+	// k-th-best bound to remote shards.
+	BoundsPropagated int64 `json:"bounds_propagated"`
+	// Nodes holds one entry per backend node, in configuration order.
+	Nodes []NodeStats `json:"nodes"`
+}
+
+// NodeStats is the router's view of one backend simsubd node.
+type NodeStats struct {
+	// Node is the node's base URL.
+	Node string `json:"node"`
+	// Group is the replica group the node belongs to.
+	Group int `json:"group"`
+	// Healthy reports whether the node's latest contact succeeded.
+	Healthy bool `json:"healthy"`
+	// Requests counts requests sent to the node (including hedges).
+	Requests int64 `json:"requests"`
+	// Failures counts requests that exhausted their retries.
+	Failures int64 `json:"failures"`
+	// Hedges counts hedge requests this node received.
+	Hedges int64 `json:"hedges"`
+	// Retries counts retry attempts against this node.
+	Retries int64 `json:"retries"`
+	// RTTMeanMS / RTTP50MS / RTTP95MS summarize the node's recent
+	// round-trip times in milliseconds (0 until a request completes).
+	RTTMeanMS float64 `json:"rtt_mean_ms"`
+	RTTP50MS  float64 `json:"rtt_p50_ms"`
+	RTTP95MS  float64 `json:"rtt_p95_ms"`
 }
 
 // Searcher answers batched v2 queries. Both the in-process *engine.Engine

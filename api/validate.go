@@ -55,6 +55,20 @@ func (r Rect) Validate() *Error {
 	return nil
 }
 
+// ValidateBound checks the spec's optional k-th-best bound: when present
+// it must be finite and non-negative, so a NaN/Inf or negative bound is
+// rejected at the wire boundary instead of poisoning the threshold
+// pipeline it seeds.
+func (s QuerySpec) ValidateBound() *Error {
+	if s.Bound == nil {
+		return nil
+	}
+	if b := *s.Bound; !finite(b) || b < 0 {
+		return Errorf(CodeInvalidArgument, "bound must be finite and non-negative, got %g", b)
+	}
+	return nil
+}
+
 // WithDefaults returns the spec with empty measure/algorithm names filled
 // in (DefaultMeasure, DefaultTopKAlgorithm).
 func (s QuerySpec) WithDefaults() QuerySpec {

@@ -22,9 +22,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -39,8 +42,9 @@ var (
 // Client is an HTTP client of one simsubd server. It is safe for
 // concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy
 }
 
 // Option customizes a Client.
@@ -52,6 +56,109 @@ type Option func(*Client)
 // shorter than the search.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// RetryPolicy configures opt-in request retries (WithRetry): exponential
+// backoff with full jitter, capped at MaxDelay. Zero fields take the
+// documented defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, the first included
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff cap before the first retry (default 50ms);
+	// it doubles per attempt up to MaxDelay, and the actual sleep is
+	// uniform in (0, cap] (full jitter), so synchronized clients spread
+	// out instead of retrying in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// OnRetry, when non-nil, observes every retry with the error that
+	// caused it (the router counts fleet-wide retries through it). It may
+	// be called from any goroutine using the client.
+	OnRetry func(err error)
+}
+
+func (p RetryPolicy) fill() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry attempt a (1-based): full jitter
+// over BaseDelay·2^(a-1), capped at MaxDelay.
+func (p RetryPolicy) backoff(a int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < a && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// WithRetry enables retries for idempotent requests (queries, reads, policy
+// swaps — never bulk loads, which are not idempotent) on 503 overloaded
+// responses and transient network errors. Backoff honors the request
+// context: an expired deadline ends the attempts immediately with the last
+// error. Streaming queries retry only until the first byte of the response
+// arrives; a stream severed mid-flight is returned as its error.
+func WithRetry(p RetryPolicy) Option {
+	filled := p.fill()
+	return func(c *Client) { c.retry = &filled }
+}
+
+// retryable reports whether the failure is worth retrying: the server
+// shedding load (503 overloaded) or a transport-level failure that was not
+// the caller's own context expiring. Typed server rejections
+// (invalid_argument, not_found, ...) are deterministic and never retried.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae.Code == api.CodeOverloaded
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// withRetries runs fn up to the policy's attempt budget (exactly once when
+// retries are off or the call is not idempotent), backing off between
+// attempts and aborting as soon as ctx expires.
+func (c *Client) withRetries(ctx context.Context, idempotent bool, fn func() error) error {
+	attempts := 1
+	if idempotent && c.retry != nil {
+		attempts = c.retry.MaxAttempts
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if c.retry.OnRetry != nil {
+				c.retry.OnRetry(err)
+			}
+			t := time.NewTimer(c.retry.backoff(a))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			}
+		}
+		err = fn()
+		if err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
 }
 
 // New builds a client for the server at baseURL (e.g.
@@ -76,23 +183,26 @@ func errorFrom(resp *http.Response) error {
 }
 
 // roundTrip POSTs (or GETs, with a nil in) the path and decodes a 2xx
-// JSON body into out.
-func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
-	resp, err := c.send(ctx, method, path, in)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return errorFrom(resp)
-	}
-	if out == nil {
+// JSON body into out, retrying idempotent requests per the retry policy.
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	return c.withRetries(ctx, idempotent, func() error {
+		resp, err := c.send(ctx, method, path, in)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return errorFrom(resp)
+		}
+		if out == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding %s response: %w", path, err)
+		}
 		return nil
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding %s response: %w", path, err)
-	}
-	return nil
+	})
 }
 
 func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
@@ -118,7 +228,7 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 // IDs in input order.
 func (c *Client) Load(ctx context.Context, ts []api.Trajectory) (*api.LoadResponse, error) {
 	var out api.LoadResponse
-	if err := c.roundTrip(ctx, http.MethodPost, "/v1/trajectories", api.LoadRequest{Trajectories: ts}, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/trajectories", api.LoadRequest{Trajectories: ts}, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -129,7 +239,7 @@ func (c *Client) Load(ctx context.Context, ts []api.Trajectory) (*api.LoadRespon
 // per-spec failures inside their result.
 func (c *Client) Query(ctx context.Context, req api.Query) (*api.QueryResponse, error) {
 	var out api.QueryResponse
-	if err := c.roundTrip(ctx, http.MethodPost, "/v2/query", req, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodPost, "/v2/query", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -152,14 +262,27 @@ func (c *Client) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 			req.TimeoutMS = ms
 		}
 	}
-	resp, err := c.send(ctx, http.MethodPost, "/v2/query/stream", req)
+	// retries cover only the connection attempt and the status line: once a
+	// 2xx arrived the stream may have delivered provisional records, and
+	// re-issuing the search could emit them twice
+	var resp *http.Response
+	err := c.withRetries(ctx, true, func() error {
+		r, rerr := c.send(ctx, http.MethodPost, "/v2/query/stream", req)
+		if rerr != nil {
+			return rerr
+		}
+		if r.StatusCode/100 != 2 {
+			rerr = errorFrom(r)
+			r.Body.Close()
+			return rerr
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return nil, errorFrom(resp)
-	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // the summary line carries the full ranking
 	for sc.Scan() {
@@ -192,7 +315,7 @@ func (c *Client) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 // unassigned ID returns a typed not_found error.
 func (c *Client) GetTrajectory(ctx context.Context, id int) (*api.TrajectoryRecord, error) {
 	var out api.TrajectoryRecord
-	if err := c.roundTrip(ctx, http.MethodGet, fmt.Sprintf("/v2/trajectories/%d", id), nil, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodGet, fmt.Sprintf("/v2/trajectories/%d", id), nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -207,7 +330,7 @@ func (c *Client) GetTrajectory(ctx context.Context, id int) (*api.TrajectoryReco
 // registration serving.
 func (c *Client) SwapPolicy(ctx context.Context, req api.PolicySwapRequest) (*api.PolicyInfo, error) {
 	var out api.PolicyInfo
-	if err := c.roundTrip(ctx, http.MethodPost, "/v2/admin/policy", req, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodPost, "/v2/admin/policy", req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -218,7 +341,7 @@ func (c *Client) SwapPolicy(ctx context.Context, req api.PolicySwapRequest) (*ap
 // not_found error.
 func (c *Client) Policy(ctx context.Context) (*api.PolicyInfo, error) {
 	var out api.PolicyInfo
-	if err := c.roundTrip(ctx, http.MethodGet, "/v2/admin/policy", nil, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodGet, "/v2/admin/policy", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -227,7 +350,7 @@ func (c *Client) Policy(ctx context.Context) (*api.PolicyInfo, error) {
 // Stats fetches the engine and server counters.
 func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	var out api.StatsResponse
-	if err := c.roundTrip(ctx, http.MethodGet, "/v2/stats", nil, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodGet, "/v2/stats", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -235,5 +358,5 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 
 // Health probes the liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
-	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil, true)
 }

@@ -365,19 +365,51 @@ func (ht *heapThresholder) Threshold() float64 {
 // SharedKth is the engine-global best-so-far: a bounded max-heap of the k
 // smallest distances offered so far across every shard worker, publishing
 // its k-th-best through an atomic so scan loops read it without locking.
-// The zero value is unusable; use NewSharedKth.
+// An optional external seed (Seed) caps the published threshold from the
+// start, so a caller that already knows an upper bound of the final k-th
+// best — a distributed coordinator propagating its running global bound —
+// lets the scan prune before its own heap fills. The zero value is
+// unusable; use NewSharedKth.
 type SharedKth struct {
 	mu    sync.Mutex
 	k     int
+	seed  float64
 	dists []float64
 	bits  atomic.Uint64
 }
 
 // NewSharedKth builds a SharedKth for rankings of size k.
 func NewSharedKth(k int) *SharedKth {
-	s := &SharedKth{k: k}
+	s := &SharedKth{k: k, seed: math.Inf(1)}
 	s.bits.Store(math.Float64bits(math.Inf(1)))
 	return s
+}
+
+// Seed tightens the published threshold with an externally known upper
+// bound of the final k-th-best distance. Seeding preserves the pruning
+// invariant only if d really is such an upper bound: every pruning
+// comparison stays strict, so matches at exactly the bound survive, but
+// matches strictly beyond it may be dropped. Seeding never raises the
+// threshold; NaN seeds are ignored.
+func (s *SharedKth) Seed(d float64) {
+	if s.k <= 0 || math.IsNaN(d) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d < s.seed {
+		s.seed = d
+		s.publish()
+	}
+}
+
+// publish stores min(seed, own k-th best) into the atomic. Callers hold mu.
+func (s *SharedKth) publish() {
+	v := s.seed
+	if len(s.dists) == s.k && s.dists[0] < v {
+		v = s.dists[0]
+	}
+	s.bits.Store(math.Float64bits(v))
 }
 
 // Offer feeds one match distance into the shared top-k.
@@ -398,7 +430,7 @@ func (s *SharedKth) Offer(d float64) {
 		return
 	}
 	if len(s.dists) == s.k {
-		s.bits.Store(math.Float64bits(s.dists[0]))
+		s.publish()
 	}
 }
 

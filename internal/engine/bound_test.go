@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"simsub/api"
+)
+
+// Wire-propagated bound seeding (QuerySpec.Bound): a trusted upper bound
+// on the final global k-th-best must seed the shared threshold without
+// changing the ranking — the distributed coordinator's correctness rests
+// on both halves.
+
+// TestBoundSeedsThresholdKeepsRanking checks a query carrying its own
+// exact k-th-best distance as the bound returns the byte-identical
+// ranking, and that the seed does real pruning work (lb_skipped > 0 on a
+// fresh engine, at least as much as the unseeded scan).
+func TestBoundSeedsThresholdKeepsRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ts := pruneData(400, 12, 72)
+	q := randTraj(rng, 6)
+
+	for _, algo := range []string{"exacts", "pss"} {
+		spec := api.QuerySpec{Query: api.FromTraj(q), K: 20, Algorithm: algo}
+
+		baseline := New(Config{Shards: 4, Index: ScanAll})
+		baseline.Add(ts)
+		want := baseline.QueryOne(context.Background(), spec)
+		if want.Error != nil {
+			t.Fatalf("%s: unbounded query failed: %v", algo, want.Error)
+		}
+		if len(want.Matches) != spec.K {
+			t.Fatalf("%s: unbounded ranking has %d matches, want %d", algo, len(want.Matches), spec.K)
+		}
+		kth := want.Matches[len(want.Matches)-1].Dist
+
+		bounded := New(Config{Shards: 4, Index: ScanAll})
+		bounded.Add(ts)
+		bspec := spec
+		bspec.Bound = &kth
+		got := bounded.QueryOne(context.Background(), bspec)
+		if got.Error != nil {
+			t.Fatalf("%s: bounded query failed: %v", algo, got.Error)
+		}
+		if !reflect.DeepEqual(got.Matches, want.Matches) || got.Total != want.Total {
+			t.Fatalf("%s: bound changed the ranking\ngot  %+v\nwant %+v", algo, got.Matches, want.Matches)
+		}
+		bst, ust := bounded.Stats(), baseline.Stats()
+		if bst.LBSkipped == 0 {
+			t.Errorf("%s: seeded bound skipped no candidates", algo)
+		}
+		if bst.LBSkipped < ust.LBSkipped {
+			t.Errorf("%s: seeded scan skipped %d candidates, unseeded skipped %d — the seed must not lose pruning",
+				algo, bst.LBSkipped, ust.LBSkipped)
+		}
+	}
+}
+
+// TestBoundRejected checks the wire boundary: a non-finite or negative
+// bound is a typed invalid_argument, not a poisoned threshold.
+func TestBoundRejected(t *testing.T) {
+	eng := New(Config{Shards: 2, Index: ScanAll})
+	eng.Add(pruneData(30, 10, 73))
+	rng := rand.New(rand.NewSource(74))
+	for _, b := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		bound := b
+		res := eng.QueryOne(context.Background(), api.QuerySpec{
+			Query: api.FromTraj(randTraj(rng, 5)), K: 3, Bound: &bound,
+		})
+		if res.Error == nil || res.Error.Code != api.CodeInvalidArgument {
+			t.Errorf("bound %v: got %v, want invalid_argument", b, res.Error)
+		}
+	}
+}
+
+// TestBoundKeysResultCache checks a bounded ranking is never served to a
+// differently-bounded (or unbounded) query: an overly tight bound
+// legitimately truncates the ranking, and that truncation must not leak
+// through the LRU.
+func TestBoundKeysResultCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	ts := pruneData(120, 10, 76)
+	q := randTraj(rng, 6)
+	spec := api.QuerySpec{Query: api.FromTraj(q), K: 10}
+
+	eng := New(Config{Shards: 2, Index: ScanAll, CacheSize: 16})
+	eng.Add(ts)
+	tight := 0.0
+	tspec := spec
+	tspec.Bound = &tight
+	truncated := eng.QueryOne(context.Background(), tspec)
+	if truncated.Error != nil {
+		t.Fatalf("tight-bound query failed: %v", truncated.Error)
+	}
+
+	full := eng.QueryOne(context.Background(), spec)
+	if full.Error != nil {
+		t.Fatalf("unbounded query failed: %v", full.Error)
+	}
+	if full.Cached {
+		t.Fatal("unbounded query was served from the bounded query's cache entry")
+	}
+	if len(full.Matches) != spec.K {
+		t.Fatalf("unbounded ranking has %d matches, want %d (bounded truncation leaked?)", len(full.Matches), spec.K)
+	}
+	if len(truncated.Matches) >= len(full.Matches) {
+		t.Fatalf("bound 0 did not truncate (%d vs %d matches) — the cache-isolation check proves nothing",
+			len(truncated.Matches), len(full.Matches))
+	}
+}

@@ -35,8 +35,13 @@ type cacheKey struct {
 	filter    geo.Rect
 	hasFilter bool
 	distinct  bool
-	policy    uint64
-	digest    uint64
+	// bound/hasBound key the wire-propagated k-th-best bound: a bounded
+	// query's ranking may legitimately omit matches beyond the bound, so
+	// it must never be served to a query with a different (or no) bound.
+	bound    float64
+	hasBound bool
+	policy   uint64
+	digest   uint64
 }
 
 // cacheKeyFor derives the ranking's cache key from the query spec and the
@@ -54,6 +59,9 @@ func (e *Engine) cacheKeyFor(q Query, policyFP uint64) cacheKey {
 	}
 	if q.Filter != nil {
 		key.hasFilter, key.filter = true, *q.Filter
+	}
+	if q.Bound != nil {
+		key.hasBound, key.bound = true, *q.Bound
 	}
 	return key
 }

@@ -111,6 +111,15 @@ type Query struct {
 	Algorithm string
 	// Params overrides parameterized measure/algorithm defaults.
 	Params Params
+	// Bound, when non-nil, is a trusted upper bound on the final k-th-best
+	// distance: the engine seeds its shared best-so-far threshold from it,
+	// so candidates provably farther than the bound are pruned before the
+	// local ranking fills. Pruning stays strict, so matches at exactly the
+	// bound survive, but matches strictly beyond it may be omitted from
+	// the ranking — callers (the distributed router propagating its
+	// running global k-th-best over the wire) must only pass bounds that
+	// make such matches irrelevant. Must be finite and non-negative.
+	Bound *float64
 	// Filter, when non-nil, restricts the search to trajectories whose MBR
 	// intersects it. The restriction is pushed down to each shard's
 	// pruning index, composing with the similarity pruning.
@@ -428,6 +437,11 @@ func (e *Engine) validateQuery(q Query) *api.Error {
 	if q.Limit < 0 {
 		return api.Errorf(api.CodeInvalidArgument, "limit must be non-negative, got %d", q.Limit)
 	}
+	if q.Bound != nil {
+		if b := *q.Bound; !finite(b) || b < 0 {
+			return api.Errorf(api.CodeInvalidArgument, "bound must be finite and non-negative, got %g", b)
+		}
+	}
 	if f := q.Filter; f != nil {
 		if !finite(f.MinX) || !finite(f.MinY) || !finite(f.MaxX) || !finite(f.MaxY) {
 			return api.Errorf(api.CodeInvalidArgument, "filter has a non-finite coordinate")
@@ -502,8 +516,12 @@ func (e *Engine) TopK(ctx context.Context, q Query) (matches []Match, cached boo
 func (e *Engine) scatter(ctx context.Context, alg core.Algorithm, q Query) ([]Match, core.PruneStats, error) {
 	// the shared best-so-far: every shard worker offers its matches here
 	// and reads the running GLOBAL k-th-best back, so one shard's good
-	// matches prune another shard's scan
+	// matches prune another shard's scan. A wire-propagated bound seeds it
+	// so remote shards prune like local ones from the first candidate.
 	shared := core.NewSharedKth(q.K)
+	if q.Bound != nil {
+		shared.Seed(*q.Bound)
+	}
 	perShard := make([][]Match, len(e.shards))
 	stats := make([]core.PruneStats, len(e.shards))
 	errs := make([]error, len(e.shards))
@@ -614,6 +632,14 @@ func (h *mergeHeap) advance() {
 		heap.Fix(h, 0)
 	}
 }
+
+// MergeTopK k-way merges ascending top-k lists — per-shard, or per-node
+// for the distributed coordinator, which reuses the engine's merge
+// machinery over wire rankings whose trajectory IDs it has translated to
+// its own global ID space. Each input list must be ascending under
+// core.RankBefore with globally comparable IDs; the merged ranking is then
+// byte-identical to a flat database's.
+func MergeTopK(lists [][]Match, k int) []Match { return mergeTopK(lists, k) }
 
 // mergeTopK k-way merges per-shard ascending top-k lists into the global
 // top k.

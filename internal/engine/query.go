@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"simsub/api"
+	"simsub/internal/core"
 	"simsub/internal/geo"
 	"simsub/internal/sim"
+	"simsub/internal/traj"
 )
 
 // This file adapts the engine onto the api package's versioned wire types:
@@ -37,6 +39,9 @@ func QueryFromSpec(spec api.QuerySpec) (Query, *api.Error) {
 		r := spec.Filter.Geo()
 		filter = &r
 	}
+	if aerr := spec.ValidateBound(); aerr != nil {
+		return Query{}, aerr
+	}
 	return Query{
 		Q:         t,
 		K:         spec.K,
@@ -48,6 +53,7 @@ func QueryFromSpec(spec api.QuerySpec) (Query, *api.Error) {
 			CDTWBand: spec.CDTWBand,
 			POSDelay: spec.POSDelay,
 		},
+		Bound:    spec.Bound,
 		Filter:   filter,
 		Distinct: spec.Distinct,
 		Offset:   spec.Offset,
@@ -64,6 +70,20 @@ func MatchToAPI(m Match) api.Match {
 		Dist:     m.Result.Dist,
 		Sim:      sim.Sim(m.Result.Dist),
 		Explored: m.Result.Explored,
+	}
+}
+
+// MatchFromAPI converts a wire match back to engine form (the inverse of
+// MatchToAPI up to the derived Sim field). The distributed coordinator uses
+// it to run per-node wire rankings through MergeTopK.
+func MatchFromAPI(m api.Match) Match {
+	return Match{
+		TrajID: m.TrajID,
+		Result: core.Result{
+			Interval: traj.Interval{I: m.Start, J: m.End},
+			Dist:     m.Dist,
+			Explored: m.Explored,
+		},
 	}
 }
 

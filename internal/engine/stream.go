@@ -15,16 +15,29 @@ import (
 // publishedKth exposes the stream collector's running global k-th-best
 // distance to the shard scanners: the collector (single goroutine, owner of
 // the authoritative heap) stores it after every heap change, the scanners
-// read it lock-free before each candidate. It implements core.Thresholder.
-type publishedKth struct{ bits atomic.Uint64 }
+// read it lock-free before each candidate. A wire-propagated bound caps the
+// published threshold from the start (see Query.Bound); it is fixed before
+// the scanners launch, so reads need no synchronization. It implements
+// core.Thresholder.
+type publishedKth struct {
+	bits  atomic.Uint64
+	bound float64
+}
 
-func newPublishedKth() *publishedKth {
-	p := &publishedKth{}
-	p.bits.Store(math.Float64bits(math.Inf(1)))
+// newPublishedKth builds the publisher, initially at bound (+Inf when the
+// query carries none).
+func newPublishedKth(bound float64) *publishedKth {
+	p := &publishedKth{bound: bound}
+	p.bits.Store(math.Float64bits(bound))
 	return p
 }
 
-func (p *publishedKth) set(d float64) { p.bits.Store(math.Float64bits(d)) }
+func (p *publishedKth) set(d float64) {
+	if d > p.bound {
+		d = p.bound
+	}
+	p.bits.Store(math.Float64bits(d))
+}
 
 // Threshold implements core.Thresholder.
 func (p *publishedKth) Threshold() float64 { return math.Float64frombits(p.bits.Load()) }
@@ -134,7 +147,11 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 	scanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan Match, 64)
-	kth := newPublishedKth()
+	bound := math.Inf(1)
+	if q.Bound != nil {
+		bound = *q.Bound
+	}
+	kth := newPublishedKth(bound)
 	stats := make([]core.PruneStats, len(e.shards))
 	errs := make([]error, len(e.shards))
 	var wg sync.WaitGroup

@@ -1,0 +1,244 @@
+package router
+
+import (
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"simsub/api"
+)
+
+// SwapPolicy broadcasts a learned-search policy swap to every node of the
+// fleet. A Path request is resolved against the ROUTER's filesystem — the
+// file is read once here and shipped to the nodes as bytes, since the
+// nodes' local filesystems are not the operator's. The swap is
+// all-or-nothing in intent but not atomic across the fleet: every node
+// must accept it, and a mixed outcome is reported as an error naming the
+// nodes that rejected it (the accepted nodes keep serving the new policy —
+// re-issue the swap to converge). On success every node's fingerprint is
+// verified to agree.
+func (r *Router) SwapPolicy(ctx context.Context, req api.PolicySwapRequest) (*api.PolicyInfo, error) {
+	if (req.Path == "") == (req.PolicyB64 == "") {
+		return nil, api.Errorf(api.CodeInvalidArgument, "exactly one of path or policy_b64 must be set")
+	}
+	if req.Path != "" {
+		raw, err := os.ReadFile(req.Path)
+		if err != nil {
+			return nil, api.Errorf(api.CodeInvalidArgument, "reading policy file: %v", err)
+		}
+		req = api.PolicySwapRequest{PolicyB64: base64.StdEncoding.EncodeToString(raw)}
+	}
+
+	infos := make([]*api.PolicyInfo, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			actx, cancel := r.attemptCtx(ctx)
+			defer cancel()
+			start := time.Now()
+			info, err := n.c.SwapPolicy(actx, req)
+			n.observe(start, err)
+			if err != nil {
+				errs[i] = fmt.Errorf("node %s: %w", n.base, err)
+				return
+			}
+			infos[i] = info
+		}(i, n)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, api.Errorf(api.CodeInternal, "policy broadcast incomplete, fleet may be serving mixed policies — re-issue the swap: %v", err)
+	}
+	for i, info := range infos[1:] {
+		if info.Fingerprint != infos[0].Fingerprint {
+			return nil, api.Errorf(api.CodeInternal,
+				"fleet diverged after swap: node %s reports fingerprint %s, node %s reports %s",
+				r.nodes[0].base, infos[0].Fingerprint, r.nodes[i+1].base, info.Fingerprint)
+		}
+	}
+	return infos[0], nil
+}
+
+// Policy reports the fleet's registered policy. Every reachable node must
+// agree on the fingerprint; a divergent fleet is an internal error (it
+// would serve learned queries inconsistently).
+func (r *Router) Policy(ctx context.Context) (*api.PolicyInfo, error) {
+	infos := make([]*api.PolicyInfo, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			actx, cancel := r.attemptCtx(ctx)
+			defer cancel()
+			start := time.Now()
+			info, err := n.c.Policy(actx)
+			n.observe(start, err)
+			infos[i], errs[i] = info, err
+		}(i, n)
+	}
+	wg.Wait()
+	var first *api.PolicyInfo
+	firstNode := ""
+	for i, info := range infos {
+		if info == nil {
+			continue
+		}
+		if first == nil {
+			first, firstNode = info, r.nodes[i].base
+			continue
+		}
+		if info.Fingerprint != first.Fingerprint {
+			return nil, api.Errorf(api.CodeInternal,
+				"fleet policies diverged: node %s reports fingerprint %s, node %s reports %s — re-issue the swap",
+				firstNode, first.Fingerprint, r.nodes[i].base, info.Fingerprint)
+		}
+	}
+	if first != nil {
+		return first, nil
+	}
+	// no node answered with a policy: propagate the first typed rejection
+	// (usually not_found: no policy registered)
+	for _, err := range errs {
+		if err != nil {
+			return nil, api.FromError(err)
+		}
+	}
+	return nil, api.Errorf(api.CodeNotFound, "no policy registered")
+}
+
+// Stats aggregates fleet telemetry, best-effort: unreachable nodes
+// contribute nothing (and are marked unhealthy) rather than failing the
+// call. The Engine section sums the nodes' counters — store-shape fields
+// (trajectories, points, shards, workers) over one replica per group to
+// avoid double counting, work counters over every node, since replicas do
+// independent work. The Router section is the coordinator's own telemetry.
+func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	stats := make([]*api.StatsResponse, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			actx, cancel := r.attemptCtx(ctx)
+			defer cancel()
+			start := time.Now()
+			st, err := n.c.Stats(actx)
+			n.observe(start, err)
+			if err == nil {
+				stats[i] = st
+			}
+		}(i, n)
+	}
+	wg.Wait()
+
+	var agg api.Stats
+	var measures []string
+	idx := 0
+	for _, g := range r.groups {
+		shaped := false
+		for range g.replicas {
+			st := stats[idx]
+			idx++
+			if st == nil {
+				continue
+			}
+			e := st.Engine
+			if !shaped {
+				shaped = true
+				agg.Points += e.Points
+				agg.Shards += e.Shards
+				agg.Workers += e.Workers
+				agg.CacheEntries += e.CacheEntries
+			}
+			agg.Queries += e.Queries
+			agg.CacheHits += e.CacheHits
+			agg.CacheMisses += e.CacheMisses
+			agg.InFlight += e.InFlight
+			agg.CandidatesSeen += e.CandidatesSeen
+			agg.LBSkipped += e.LBSkipped
+			agg.EarlyAbandoned += e.EarlyAbandoned
+			agg.RLSQueries += e.RLSQueries
+			agg.QualitySamples += e.QualitySamples
+			if !agg.PolicyLoaded && e.PolicyLoaded {
+				agg.PolicyLoaded = true
+				agg.PolicyName = e.PolicyName
+				agg.PolicyFingerprint = e.PolicyFingerprint
+			}
+			if measures == nil {
+				measures = st.Measures
+			}
+		}
+	}
+	agg.Trajectories = r.Len()
+
+	rs := &api.RouterStats{
+		Groups:           len(r.groups),
+		Replication:      r.cfg.Replication,
+		Trajectories:     r.Len(),
+		Queries:          r.queries.Load(),
+		Hedges:           r.hedges.Load(),
+		Retries:          r.retries.Load(),
+		PartialResults:   r.partial.Load(),
+		BoundsPropagated: r.bounds.Load(),
+	}
+	for _, n := range r.nodes {
+		rs.Nodes = append(rs.Nodes, api.NodeStats{
+			Node:      n.base,
+			Group:     n.group,
+			Healthy:   n.healthy.Load(),
+			Requests:  n.requests.Load(),
+			Failures:  n.failures.Load(),
+			Hedges:    n.hedges.Load(),
+			Retries:   n.retries.Load(),
+			RTTMeanMS: durMS(n.rtt.mean()),
+			RTTP50MS:  durMS(n.rtt.quantile(0.50)),
+			RTTP95MS:  durMS(n.rtt.quantile(0.95)),
+		})
+	}
+	return &api.StatsResponse{Engine: agg, Measures: measures, Router: rs}, nil
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// Health probes every node; it succeeds when every group has at least one
+// healthy replica (the fleet can still answer complete queries).
+func (r *Router) Health(ctx context.Context) error {
+	ok := make([]bool, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			actx, cancel := r.attemptCtx(ctx)
+			defer cancel()
+			start := time.Now()
+			err := n.c.Health(actx)
+			n.observe(start, err)
+			ok[i] = err == nil
+		}(i, n)
+	}
+	wg.Wait()
+	idx := 0
+	for gi, g := range r.groups {
+		healthy := false
+		for range g.replicas {
+			healthy = healthy || ok[idx]
+			idx++
+		}
+		if !healthy {
+			return api.Errorf(api.CodeInternal, "shard group %d has no reachable replica", gi)
+		}
+	}
+	return nil
+}

@@ -38,6 +38,7 @@ import (
 	"simsub/internal/engine"
 	"simsub/internal/geo"
 	"simsub/internal/rl"
+	"simsub/internal/router"
 	"simsub/internal/sim"
 	"simsub/internal/t2vec"
 	"simsub/internal/traj"
@@ -104,6 +105,22 @@ type (
 	StreamSearcher = api.StreamSearcher
 	// Client is the HTTP client of a simsubd server (package client).
 	Client = client.Client
+	// ClientRetryPolicy tunes the client's opt-in retry with exponential
+	// backoff and jitter (client.WithRetry).
+	ClientRetryPolicy = client.RetryPolicy
+	// Router is the distributed coordinator over a simsubd fleet: it
+	// places trajectories by consistent hashing, scatter-gathers top-k
+	// with bound propagation and hedged replica requests, and satisfies
+	// the same Searcher interfaces as *Engine and *Client. It backs the
+	// cmd/simsubrouter HTTP daemon and is usable in-process too.
+	Router = router.Router
+	// RouterConfig sizes a Router (nodes, replication, hedging, retries).
+	RouterConfig = router.Config
+	// APIPartial is the typed degradation summary of a scatter-gather
+	// answer whose shard nodes were not all reachable.
+	APIPartial = api.Partial
+	// APIRouterStats is the coordinator tier's own telemetry.
+	APIRouterStats = api.RouterStats
 	// APIQuery is the wire form of a /v2/query batch.
 	APIQuery = api.Query
 	// APIQuerySpec is the wire form of one top-k query spec.
@@ -142,6 +159,11 @@ const (
 func NewClient(baseURL string, opts ...client.Option) *Client {
 	return client.New(baseURL, opts...)
 }
+
+// NewRouter builds the distributed coordinator over a simsubd fleet; the
+// result satisfies the same Searcher interfaces as an in-process Engine or
+// a single-node Client.
+func NewRouter(cfg RouterConfig) (*Router, error) { return router.New(cfg) }
 
 // New builds a trajectory from points.
 func New(pts ...Point) Trajectory { return traj.New(pts...) }
