@@ -237,6 +237,50 @@ type LoadResponse struct {
 	Total  int   `json:"total"`
 }
 
+// BulkLoadResponse answers POST /v2/load/stream. Streamed loads at
+// 100k–1M records do not echo per-record IDs like LoadResponse: they are
+// dense, so FirstID and Loaded determine all of them.
+type BulkLoadResponse struct {
+	// Loaded is the number of trajectories ingested from the stream.
+	Loaded int `json:"loaded"`
+	// FirstID is the global ID of the first streamed trajectory; IDs run
+	// dense through FirstID+Loaded-1.
+	FirstID int `json:"first_id"`
+	// Total is the store size after the load.
+	Total int `json:"total"`
+	// TookMS is the server-side ingest wall-clock in milliseconds.
+	TookMS float64 `json:"took_ms"`
+}
+
+// RecoveryInfo reports what a node's boot-time crash recovery did (see
+// StatsResponse.Recovery); all counters are zero for a node started
+// without a data directory.
+type RecoveryInfo struct {
+	// Segments is the number of log segment files read.
+	Segments int `json:"segments"`
+	// Records is the number of trajectory records recovered.
+	Records int `json:"records"`
+	// SnapshotRecords had their derived metadata restored from a snapshot.
+	SnapshotRecords int `json:"snapshot_records"`
+	// Replayed had their derived metadata re-computed from the log tail.
+	Replayed int `json:"replayed"`
+	// TornTailTruncations counts partial tail records truncated on boot.
+	TornTailTruncations int `json:"torn_tail_truncations"`
+	// SnapshotsDiscarded counts snapshot files that failed validation.
+	SnapshotsDiscarded int `json:"snapshots_discarded"`
+	// WallMS is the recovery wall-clock in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Node serving states reported in StatsResponse.State / NodeStats.State.
+const (
+	// StateReady: the node serves queries and loads.
+	StateReady = "ready"
+	// StateRecovering: the node is replaying its log and rejects queries
+	// and loads with code overloaded until recovery completes.
+	StateRecovering = "recovering"
+)
+
 // TrajectoryRecord answers GET /v2/trajectories/{id}.
 type TrajectoryRecord struct {
 	ID         int        `json:"id"`
@@ -316,6 +360,12 @@ type StatsResponse struct {
 	// counters. Single-node servers omit it; Engine then aggregates the
 	// reachable nodes' counters.
 	Router *RouterStats `json:"router,omitempty"`
+	// State is the node's serving state ("ready" or "recovering"); empty
+	// from servers predating persistence.
+	State string `json:"state,omitempty"`
+	// Recovery describes the node's boot-time crash recovery. Only set by
+	// nodes running with a data directory.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // RouterStats is the coordinator tier's own telemetry: how the fleet is
@@ -366,6 +416,11 @@ type NodeStats struct {
 	RTTMeanMS float64 `json:"rtt_mean_ms"`
 	RTTP50MS  float64 `json:"rtt_p50_ms"`
 	RTTP95MS  float64 `json:"rtt_p95_ms"`
+	// State is the node's self-reported serving state ("ready",
+	// "recovering") or "unreachable" when its stats could not be fetched.
+	// The router fails over instead of scatter-gathering against a node
+	// still replaying its log.
+	State string `json:"state,omitempty"`
 }
 
 // Searcher answers batched v2 queries. Both the in-process *engine.Engine

@@ -234,6 +234,34 @@ func (c *Client) Load(ctx context.Context, ts []api.Trajectory) (*api.LoadRespon
 	return &out, nil
 }
 
+// LoadStream streams an NDJSON corpus (one {"points":[[x,y,t],...]}
+// object per line, as written by internal/traj.WriteNDJSON or cmd/datagen
+// -format ndjson) to POST /v2/load/stream. The body is forwarded without
+// buffering, so a 100k–1M trajectory corpus loads through constant client
+// memory. Bulk loads are not idempotent and are never retried; a
+// mid-stream server error may leave earlier batches committed (the typed
+// error's message carries the committed count).
+func (c *Client) LoadStream(ctx context.Context, corpus io.Reader) (*api.BulkLoadResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/load/stream", corpus)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, errorFrom(resp)
+	}
+	var out api.BulkLoadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding /v2/load/stream response: %w", err)
+	}
+	return &out, nil
+}
+
 // Query implements api.Searcher over POST /v2/query: the batch's specs are
 // answered concurrently by the server, Results[i] answering Specs[i], with
 // per-spec failures inside their result.

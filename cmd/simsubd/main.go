@@ -1,21 +1,25 @@
 // Command simsubd serves similar subtrajectory search over HTTP: a sharded
 // in-memory trajectory store answering concurrent top-k queries under any
 // registered measure and algorithm, with a bounded worker pool, per-request
-// timeouts and an LRU result cache.
+// timeouts and an LRU result cache. With -data-dir the corpus is also
+// durable: loads append to a checksummed segment log, metadata is
+// snapshotted periodically, and on boot the node recovers the log (serving
+// 503 "recovering" until the replay finishes) before flipping to ready.
 //
 // Usage:
 //
 //	simsubd -addr :8080 -shards 8 -workers 16 -cache 4096
 //	simsubd -addr :8080 -data porto.csv -index grid
 //	simsubd -addr :8080 -policy skip.policy -quality-sample 0.01
+//	simsubd -addr :8080 -data-dir /var/lib/simsub -snapshot-interval 5m
 //
 // Endpoints: POST /v2/query (batched specs), POST /v2/query/stream (NDJSON
-// incremental matches), GET /v2/trajectories/{id}, GET /v2/stats, plus the
-// /v1 compatibility surface (POST /v1/trajectories, /v1/topk, /v1/search;
-// GET /v1/stats) and GET /healthz. Errors are typed
-// {"error": {"code", "message"}} envelopes. See docs/API.md for the full
-// endpoint reference and README.md for an example curl session; package
-// client is the matching Go client.
+// incremental matches), GET /v2/trajectories/{id}, POST /v2/load/stream
+// (NDJSON bulk ingest), GET /v2/stats, plus the /v1 compatibility surface
+// (POST /v1/trajectories, /v1/topk, /v1/search; GET /v1/stats) and
+// GET /healthz. Errors are typed {"error": {"code", "message"}} envelopes.
+// See docs/API.md for the full endpoint reference and README.md for an
+// example curl session; package client is the matching Go client.
 package main
 
 import (
@@ -29,9 +33,11 @@ import (
 	"syscall"
 	"time"
 
+	"simsub/api"
 	"simsub/internal/engine"
 	"simsub/internal/rl"
 	"simsub/internal/server"
+	"simsub/internal/storage"
 	"simsub/internal/traj"
 )
 
@@ -45,6 +51,8 @@ func main() {
 		cacheSize  = flag.Int("cache", 1024, "LRU result-cache entries (0 disables)")
 		indexName  = flag.String("index", "rtree", "per-shard index: rtree, grid, none")
 		dataPath   = flag.String("data", "", "optional CSV of trajectories to preload")
+		dataDir    = flag.String("data-dir", "", "directory for the persistent segment log (empty = in-memory only)")
+		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "how often to snapshot derived metadata when -data-dir is set")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request search timeout cap")
 		policyPath = flag.String("policy", "", "optional RLS/RLS-Skip policy file (cmd/train -mode rls) enabling the learned algorithms")
 		qualitySam = flag.Float64("quality-sample", 0, "fraction of learned-search queries re-scored against the exact ranking for serving-quality stats")
@@ -81,23 +89,60 @@ func main() {
 		}
 		log.Printf("serving %s policy from %s (k=%d, fingerprint %s)", info.Name, *policyPath, info.K, info.Fingerprint)
 	}
-	if *dataPath != "" {
-		ts, err := traj.LoadCSV(*dataPath)
-		if err != nil {
-			log.Fatalf("preloading %s: %v", *dataPath, err)
+
+	handler := server.New(eng, server.Options{MaxTimeout: *timeout})
+
+	if *dataDir == "" {
+		if *dataPath != "" {
+			preload(eng, *dataPath)
 		}
-		eng.Add(ts)
-		log.Printf("preloaded %d trajectories from %s", len(ts), *dataPath)
+	} else {
+		// Recover the persistent log in the background: the node serves
+		// 503 "recovering" (health + data paths) until the replay is
+		// attached, so a router can fail over instead of waiting on us.
+		handler.SetReady(false)
+		go func() {
+			st, rs, err := storage.Open(*dataDir, storage.Options{})
+			if err != nil {
+				log.Fatalf("recovering %s: %v", *dataDir, err)
+			}
+			log.Printf("recovery: %s", rs.String())
+			if err := eng.AttachStore(st); err != nil {
+				log.Fatalf("attaching store: %v", err)
+			}
+			handler.SetRecovery(api.RecoveryInfo{
+				Segments:            rs.Segments,
+				Records:             rs.Records,
+				SnapshotRecords:     rs.SnapshotRecords,
+				Replayed:            rs.Replayed,
+				TornTailTruncations: rs.TornTailTruncations,
+				SnapshotsDiscarded:  rs.SnapshotsDiscarded,
+				WallMS:              float64(rs.Wall.Microseconds()) / 1000,
+			})
+			handler.SetReady(true)
+			log.Printf("ready: serving %d trajectories from %s", st.Len(), *dataDir)
+			if *dataPath != "" {
+				if st.Len() > 0 {
+					log.Printf("skipping -data preload: %s already holds %d trajectories", *dataDir, st.Len())
+				} else {
+					preload(eng, *dataPath)
+				}
+			}
+		}()
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng, server.Options{MaxTimeout: *timeout}),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *dataDir != "" {
+		go snapshotLoop(ctx, eng, *snapEvery)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -114,5 +159,52 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
+	}
+	// After the HTTP drain, no more appends can arrive: take a final
+	// snapshot and fsync the active segment so the next boot replays
+	// nothing.
+	if st := eng.Store(); st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("closing store: %v", err)
+		} else {
+			log.Printf("store closed: snapshot covers %d trajectories", st.Len())
+		}
+	}
+}
+
+// preload bulk-loads a CSV corpus into the engine (and through it the
+// persistent store, when one is attached).
+func preload(eng *engine.Engine, path string) {
+	ts, err := traj.LoadCSV(path)
+	if err != nil {
+		log.Fatalf("preloading %s: %v", path, err)
+	}
+	if _, err := eng.Add(ts); err != nil {
+		log.Fatalf("preloading %s: %v", path, err)
+	}
+	log.Printf("preloaded %d trajectories from %s", len(ts), path)
+}
+
+// snapshotLoop periodically snapshots the attached store's derived
+// metadata so recovery replays only the tail written since the last tick.
+func snapshotLoop(ctx context.Context, eng *engine.Engine, every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			st := eng.Store()
+			if st == nil {
+				continue // still recovering
+			}
+			if err := st.Snapshot(); err != nil {
+				log.Printf("snapshot: %v", err)
+			}
+		}
 	}
 }

@@ -147,5 +147,6 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	writeScanJSON()
 	writeRLSJSON()
+	writeIngestJSON()
 	os.Exit(code)
 }

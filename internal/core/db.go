@@ -13,17 +13,68 @@ import (
 	"simsub/internal/traj"
 )
 
+// Backend supplies a Database's trajectories and their precomputed scan
+// metadata (TrajMeta: point count, MBR, reversal). The in-memory default is
+// built by the NewDatabase* constructors; persistent backends (package
+// internal/storage) serve mmap'd on-disk points and snapshot-restored
+// metadata through the same interface, so the zero-allocation scan path is
+// oblivious to where the points live. Backends must be immutable once a
+// Database is built over them, and Traj/Meta must be safe for concurrent
+// use.
+type Backend interface {
+	// Len returns the number of trajectories.
+	Len() int
+	// Traj returns the i-th trajectory. The points may be backed by an
+	// mmap'd file and must be treated as read-only.
+	Traj(i int) traj.Trajectory
+	// Meta returns the i-th trajectory's precomputed scan metadata.
+	Meta(i int) TrajMeta
+}
+
+// memBackend is the in-memory default Backend: trajectories plus metadata
+// derived once at construction.
+type memBackend struct {
+	trajs []traj.Trajectory
+	metas []TrajMeta
+}
+
+func (b *memBackend) Len() int                   { return len(b.trajs) }
+func (b *memBackend) Traj(i int) traj.Trajectory { return b.trajs[i] }
+func (b *memBackend) Meta(i int) TrajMeta        { return b.metas[i] }
+
+// NewMemBackend builds the in-memory Backend: per-trajectory MBRs and
+// reversals are derived once, here, so the scan hot path never re-derives
+// them. When metas is non-nil it must be parallel to ts and is adopted
+// as-is (the caller — a persistent store restoring a snapshot — already
+// owns the derivation).
+func NewMemBackend(ts []traj.Trajectory, metas []TrajMeta) Backend {
+	if metas == nil {
+		metas = make([]TrajMeta, len(ts))
+		for i, t := range ts {
+			metas[i] = DeriveMeta(t)
+		}
+	}
+	return &memBackend{trajs: ts, metas: metas}
+}
+
+// DeriveMeta computes a trajectory's scan metadata from scratch: the
+// insert-time derivation the snapshot path exists to skip.
+func DeriveMeta(t traj.Trajectory) TrajMeta {
+	return TrajMeta{N: t.Len(), MBR: t.MBR(), Rev: t.Reverse()}
+}
+
 // Database is a collection of data trajectories with an optional MBR R-tree
 // for pruning (§6.2(4)): a query first discards every trajectory whose MBR
 // does not intersect the query's MBR. The paper notes this pruning can in
 // principle drop the true best subtrajectory but rarely does in practice
 // (and never did for DTW/Fréchet in its experiments).
+//
+// The trajectories live behind a pluggable Backend: in-memory by default,
+// or a persistent segment store serving mmap'd points.
 type Database struct {
-	trajs []traj.Trajectory
-	mbrs  []geo.Rect        // per-trajectory MBRs, precomputed for filter pushdown
-	revs  []traj.Trajectory // per-trajectory reversals, precomputed for suffix-state scans
-	tree  *index.RTree
-	grid  *index.GridIndex
+	be   Backend
+	tree *index.RTree
+	grid *index.GridIndex
 }
 
 // IndexKind selects the pruning structure of a Database.
@@ -47,43 +98,43 @@ func NewDatabase(ts []traj.Trajectory, withIndex bool) *Database {
 	return NewDatabaseIndexed(ts, kind)
 }
 
-// NewDatabaseIndexed builds a database with the chosen index kind.
+// NewDatabaseIndexed builds a database with the chosen index kind over the
+// in-memory backend (insert-time metadata derived here, once).
 func NewDatabaseIndexed(ts []traj.Trajectory, kind IndexKind) *Database {
-	db := &Database{
-		trajs: ts,
-		mbrs:  make([]geo.Rect, len(ts)),
-		revs:  make([]traj.Trajectory, len(ts)),
-	}
-	for i, t := range ts {
-		// insert-time metadata: the MBR feeds filter pushdown and the
-		// lower-bound cascade, the reversal feeds PSS/RLS suffix state —
-		// both were previously recomputed per query per trajectory
-		db.mbrs[i] = t.MBR()
-		db.revs[i] = t.Reverse()
-	}
+	return NewDatabaseBackend(NewMemBackend(ts, nil), kind)
+}
+
+// NewDatabaseBackend builds a database over an externally owned Backend —
+// the pluggable-storage entry point. The backend's metadata feeds the index
+// build and the filter pushdown, so a backend restoring snapshot metadata
+// pays no per-point derivation here.
+func NewDatabaseBackend(be Backend, kind IndexKind) *Database {
+	db := &Database{be: be}
 	switch kind {
 	case RTreeIndex:
-		entries := make([]index.Entry, len(ts))
-		for i := range ts {
-			entries[i] = index.Entry{Rect: db.mbrs[i], Ref: i}
+		entries := make([]index.Entry, be.Len())
+		for i := range entries {
+			entries[i] = index.Entry{Rect: be.Meta(i).MBR, Ref: i}
 		}
 		db.tree = index.BulkLoad(entries, 32)
 	case GridFileIndex:
+		ts := make([]traj.Trajectory, be.Len())
+		for i := range ts {
+			ts[i] = be.Traj(i)
+		}
 		db.grid = index.NewGridIndex(ts, 32)
 	}
 	return db
 }
 
 // Len returns the number of data trajectories.
-func (db *Database) Len() int { return len(db.trajs) }
+func (db *Database) Len() int { return db.be.Len() }
 
 // Traj returns the i-th data trajectory.
-func (db *Database) Traj(i int) traj.Trajectory { return db.trajs[i] }
+func (db *Database) Traj(i int) traj.Trajectory { return db.be.Traj(i) }
 
 // Meta returns the i-th trajectory's precomputed scan metadata.
-func (db *Database) Meta(i int) TrajMeta {
-	return TrajMeta{N: db.trajs[i].Len(), MBR: db.mbrs[i], Rev: db.revs[i]}
-}
+func (db *Database) Meta(i int) TrajMeta { return db.be.Meta(i) }
 
 // HasIndex reports whether a pruning index was built.
 func (db *Database) HasIndex() bool { return db.tree != nil || db.grid != nil }
@@ -97,7 +148,7 @@ func (db *Database) Candidates(q traj.Trajectory) []int {
 	case db.grid != nil:
 		return db.grid.Candidates(q)
 	default:
-		out := make([]int, len(db.trajs))
+		out := make([]int, db.be.Len())
 		for i := range out {
 			out[i] = i
 		}
@@ -117,7 +168,7 @@ func (db *Database) CandidatesFiltered(q traj.Trajectory, filter *geo.Rect) []in
 	}
 	out := cands[:0]
 	for _, ci := range cands {
-		if db.mbrs[ci].Intersects(*filter) {
+		if db.be.Meta(ci).MBR.Intersects(*filter) {
 			out = append(out, ci)
 		}
 	}
@@ -222,7 +273,7 @@ func (db *Database) ScanFilteredCtx(ctx context.Context, alg Algorithm, q traj.T
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		t := db.trajs[ci]
+		t := db.be.Traj(ci)
 		if t.Len() == 0 {
 			continue
 		}
@@ -283,7 +334,7 @@ func (db *Database) TopKParallelCtx(ctx context.Context, alg Algorithm, q traj.T
 				if i >= len(cands) {
 					return
 				}
-				t := db.trajs[cands[i]]
+				t := db.be.Traj(cands[i])
 				if t.Len() == 0 {
 					continue
 				}

@@ -497,7 +497,7 @@ func (db *Database) ScanPrunedCtx(ctx context.Context, alg Algorithm, q traj.Tra
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		t := db.trajs[ci]
+		t := db.be.Traj(ci)
 		if t.Len() == 0 {
 			continue
 		}

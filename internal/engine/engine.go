@@ -25,6 +25,7 @@ import (
 	"simsub/internal/core"
 	"simsub/internal/geo"
 	"simsub/internal/sim"
+	"simsub/internal/storage"
 	"simsub/internal/traj"
 )
 
@@ -184,14 +185,26 @@ type shard struct {
 	mu    sync.RWMutex
 	kind  core.IndexKind
 	trajs []traj.Trajectory
+	metas []core.TrajMeta
 	db    *core.Database
 }
 
-func (s *shard) add(ts []traj.Trajectory) {
+// add appends a batch and rebuilds the shard's database. metas, when
+// non-nil, carries precomputed scan metadata (recovered from a storage
+// snapshot) aligned with ts; nil metas are derived here, as a pure
+// in-memory engine always did.
+func (s *shard) add(ts []traj.Trajectory, metas []core.TrajMeta) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.trajs = append(s.trajs, ts...)
-	s.db = core.NewDatabaseIndexed(s.trajs, s.kind)
+	if metas != nil {
+		s.metas = append(s.metas, metas...)
+	} else {
+		for _, t := range ts {
+			s.metas = append(s.metas, core.DeriveMeta(t))
+		}
+	}
+	s.db = core.NewDatabaseBackend(core.NewMemBackend(s.trajs, s.metas), s.kind)
 }
 
 // snapshot returns the shard's current database, which is immutable once
@@ -226,7 +239,8 @@ type Engine struct {
 	sem    chan struct{} // bounded worker pool: one slot per running shard task
 	cache  *resultCache
 
-	addMu  sync.Mutex // serializes bulk loads so IDs land in shard order
+	addMu  sync.Mutex                    // serializes bulk loads so IDs land in shard order
+	store  atomic.Pointer[storage.Store] // durable write-ahead log; nil = in-memory only
 	nextID atomic.Int64
 	points atomic.Int64
 	gen    atomic.Uint64
@@ -273,9 +287,21 @@ func New(cfg Config) *Engine {
 // in input order) and distributing them round-robin over the shards. Each
 // affected shard rebuilds its index once per call, so batch loads are much
 // cheaper than one-at-a-time loads. Loading invalidates cached results.
-func (e *Engine) Add(ts []traj.Trajectory) []int {
+//
+// With a store attached (AttachStore), the batch is appended to the
+// durable log BEFORE it becomes searchable — write-ahead order — and a log
+// write failure rejects the whole batch with no visibility change.
+func (e *Engine) Add(ts []traj.Trajectory) ([]int, error) {
 	e.addMu.Lock()
 	defer e.addMu.Unlock()
+	var recs []storage.Record
+	if st := e.store.Load(); st != nil {
+		var err error
+		recs, err = st.Append(ts)
+		if err != nil {
+			return nil, api.Errorf(api.CodeInternal, "durable append failed: %v", err)
+		}
+	}
 	// seqlock on the store generation: odd while shards are being swapped,
 	// even when stable. A query caches its answer only if the generation
 	// was even and unchanged across its whole search, so a ranking built
@@ -284,23 +310,84 @@ func (e *Engine) Add(ts []traj.Trajectory) []int {
 	defer e.gen.Add(1)
 	ids := make([]int, len(ts))
 	buckets := make([][]traj.Trajectory, len(e.shards))
+	var metaBuckets [][]core.TrajMeta
+	if recs != nil {
+		metaBuckets = make([][]core.TrajMeta, len(e.shards))
+	}
+	base := int(e.nextID.Load())
 	var pts int64
 	for i, t := range ts {
-		id := int(e.nextID.Add(1)) - 1
-		t.ID = id
+		id := base + i
 		ids[i] = id
 		pts += int64(t.Len())
-		buckets[id%len(e.shards)] = append(buckets[id%len(e.shards)], t)
+		si := id % len(e.shards)
+		if recs != nil {
+			// the store assigned the same dense ID and already derived the
+			// metadata; reuse both instead of re-deriving
+			buckets[si] = append(buckets[si], recs[i].Traj)
+			metaBuckets[si] = append(metaBuckets[si], recs[i].Meta)
+		} else {
+			t.ID = id
+			buckets[si] = append(buckets[si], t)
+		}
 	}
+	e.nextID.Store(int64(base + len(ts)))
 	for si, b := range buckets {
 		if len(b) > 0 {
-			e.shards[si].add(b)
+			var ms []core.TrajMeta
+			if metaBuckets != nil {
+				ms = metaBuckets[si]
+			}
+			e.shards[si].add(b, ms)
 		}
 	}
 	e.points.Add(pts)
 	e.cache.purge()
-	return ids
+	return ids, nil
 }
+
+// AttachStore binds a persistent store to an empty engine and loads every
+// recovered record into the shards, reusing snapshot-restored metadata
+// (MBRs, reversals) instead of re-deriving it. Subsequent Adds are written
+// through the store's log before becoming searchable. The engine takes
+// over the store's ID sequence, which is dense and therefore matches the
+// engine's own assignment scheme exactly.
+func (e *Engine) AttachStore(st *storage.Store) error {
+	e.addMu.Lock()
+	defer e.addMu.Unlock()
+	if e.store.Load() != nil {
+		return api.Errorf(api.CodeInternal, "engine already has a store attached")
+	}
+	if e.Len() != 0 {
+		return api.Errorf(api.CodeInternal, "cannot attach a store to a non-empty engine (%d trajectories loaded)", e.Len())
+	}
+	e.gen.Add(1)
+	defer e.gen.Add(1)
+	recs := st.Records()
+	buckets := make([][]traj.Trajectory, len(e.shards))
+	metaBuckets := make([][]core.TrajMeta, len(e.shards))
+	var pts int64
+	for _, r := range recs {
+		si := r.ID % len(e.shards)
+		buckets[si] = append(buckets[si], r.Traj)
+		metaBuckets[si] = append(metaBuckets[si], r.Meta)
+		pts += int64(r.Traj.Len())
+	}
+	for si, b := range buckets {
+		if len(b) > 0 {
+			e.shards[si].add(b, metaBuckets[si])
+		}
+	}
+	e.nextID.Store(int64(len(recs)))
+	e.points.Add(pts)
+	e.store.Store(st)
+	e.cache.purge()
+	return nil
+}
+
+// Store returns the attached persistent store, or nil for a pure
+// in-memory engine.
+func (e *Engine) Store() *storage.Store { return e.store.Load() }
 
 // Len returns the number of stored trajectories.
 func (e *Engine) Len() int { return int(e.nextID.Load()) }

@@ -254,7 +254,10 @@ func TestEngineTrajLookup(t *testing.T) {
 	rng := rand.New(rand.NewSource(65))
 	ts := randSet(rng, 23)
 	e := New(Config{Shards: 4})
-	ids := e.Add(ts)
+	ids, err := e.Add(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ids) != len(ts) || e.Len() != len(ts) {
 		t.Fatalf("ids=%d len=%d, want %d", len(ids), e.Len(), len(ts))
 	}

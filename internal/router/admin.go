@@ -190,10 +190,21 @@ func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
 		PartialResults:   r.partial.Load(),
 		BoundsPropagated: r.bounds.Load(),
 	}
-	for _, n := range r.nodes {
+	for i, n := range r.nodes {
+		// Surface each node's self-reported lifecycle state so operators can
+		// tell a replaying node (its data paths 503 and the scatter fails
+		// over) from a dead one.
+		state := "unreachable"
+		if st := stats[i]; st != nil {
+			state = st.State
+			if state == "" {
+				state = api.StateReady
+			}
+		}
 		rs.Nodes = append(rs.Nodes, api.NodeStats{
 			Node:      n.base,
 			Group:     n.group,
+			State:     state,
 			Healthy:   n.healthy.Load(),
 			Requests:  n.requests.Load(),
 			Failures:  n.failures.Load(),

@@ -52,6 +52,7 @@ func toWire(ts []traj.Trajectory) []api.Trajectory {
 // testNode is one fleet member: a real engine behind a real HTTP server.
 type testNode struct {
 	eng *engine.Engine
+	h   *server.Server
 	srv *httptest.Server
 }
 
@@ -63,9 +64,10 @@ func startFleet(t *testing.T, n int) []*testNode {
 		// equivalence tests do) so rankings fill K and bounds have teeth;
 		// spatial-index pruning is exercised by the engine tests.
 		eng := engine.New(engine.Config{Shards: 2, CacheSize: 64, Index: engine.ScanAll})
-		srv := httptest.NewServer(server.New(eng, server.Options{}))
+		h := server.New(eng, server.Options{})
+		srv := httptest.NewServer(h)
 		t.Cleanup(srv.Close)
-		nodes[i] = &testNode{eng: eng, srv: srv}
+		nodes[i] = &testNode{eng: eng, h: h, srv: srv}
 	}
 	return nodes
 }
@@ -346,6 +348,59 @@ func TestRouterReplicaFailover(t *testing.T) {
 	}
 	if err := r.Health(context.Background()); err != nil {
 		t.Fatalf("health failed with one live replica per group: %v", err)
+	}
+}
+
+// TestRouterFailsOverRecoveringNode checks the durability follow-through:
+// a node replaying its persistent log answers data-path requests with 503
+// overloaded, which the router must treat as degradable — failing over to
+// the ready replica with complete (non-partial) answers — while fleet
+// stats surface the node's self-reported "recovering" state.
+func TestRouterFailsOverRecoveringNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ts := randSet(rng, 80)
+	nodes := startFleet(t, 2)
+	r := newTestRouter(t, nodes, func(c *Config) {
+		c.Replication = 2
+		c.NoHedge = true
+		c.Retry = client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	})
+	mustLoad(t, r, ts)
+
+	nodes[0].h.SetReady(false) // node 0 is now "replaying its log"
+	spec := api.QuerySpec{Query: api.FromTraj(randTraj(rng, 6)), K: 8}
+	for i := 0; i < 3; i++ { // rotation makes the recovering replica primary sometimes
+		res := r.QueryOne(context.Background(), spec)
+		if res.Error != nil {
+			t.Fatalf("query %d failed despite a ready replica: %v", i, res.Error)
+		}
+		if res.Partial != nil {
+			t.Fatalf("query %d degraded despite a ready replica: %+v", i, res.Partial)
+		}
+	}
+
+	st, err := r.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Router.Nodes[0].State; got != api.StateRecovering {
+		t.Errorf("recovering node reports state %q, want %q", got, api.StateRecovering)
+	}
+	if got := st.Router.Nodes[1].State; got != api.StateReady {
+		t.Errorf("ready node reports state %q, want %q", got, api.StateReady)
+	}
+
+	// recovery finishes: the node serves again and stats flip back
+	nodes[0].h.SetReady(true)
+	if res := r.QueryOne(context.Background(), spec); res.Error != nil || res.Partial != nil {
+		t.Fatalf("query after recovery: err=%v partial=%+v", res.Error, res.Partial)
+	}
+	st, err = r.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Router.Nodes[0].State; got != api.StateReady {
+		t.Errorf("recovered node reports state %q, want %q", got, api.StateReady)
 	}
 }
 

@@ -8,9 +8,16 @@
 //	GET  /v1/stats         engine and server counters
 //	POST /v2/query         batch of query specs, one result per spec
 //	POST /v2/query/stream  one spec, matches streamed as NDJSON records
+//	POST /v2/load/stream   streaming NDJSON bulk ingest (one trajectory per record)
 //	GET  /v2/trajectories/{id}  fetch a stored trajectory by global ID
 //	GET  /v2/stats         engine and server counters
-//	GET  /healthz          liveness probe
+//	GET  /healthz          liveness probe (503 while recovering)
+//
+// A server booting over a persistent data directory starts in the
+// "recovering" state: the data-path endpoints (loads, queries, trajectory
+// fetches) are rejected with code overloaded — which the distributed
+// router treats as degradable, failing over to replicas — until the
+// process finishes replaying its log and flips to "ready" via SetReady.
 //
 // Every error is the typed envelope {"error": {"code", "message"}} with a
 // machine-readable code (api.Code) mapped onto the HTTP status.
@@ -24,8 +31,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"simsub/api"
@@ -72,9 +81,16 @@ type Server struct {
 	mux       *http.ServeMux
 	searchSem chan struct{}
 	start     time.Time
+
+	// ready gates the data-path endpoints; false while the node replays
+	// its persistent log on boot (see SetReady).
+	ready    atomic.Bool
+	recovery atomic.Pointer[api.RecoveryInfo]
 }
 
-// New builds a server over the engine.
+// New builds a server over the engine. It starts ready; a process that
+// recovers a data directory in the background calls SetReady(false)
+// before serving and flips it back once the engine holds the full corpus.
 func New(eng *engine.Engine, opts Options) *Server {
 	opts.fill()
 	s := &Server{
@@ -84,12 +100,14 @@ func New(eng *engine.Engine, opts Options) *Server {
 		searchSem: make(chan struct{}, opts.MaxSearches),
 		start:     time.Now(),
 	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/trajectories", s.handleLoad)
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v2/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v2/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("POST /v2/load/stream", s.handleLoadStream)
 	s.mux.HandleFunc("GET /v2/trajectories/{id}", s.handleGetTrajectory)
 	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v2/admin/policy", s.handlePolicySwap)
@@ -98,9 +116,39 @@ func New(eng *engine.Engine, opts Options) *Server {
 	return s
 }
 
+// SetReady flips the node's serving state. While not ready, data-path
+// endpoints answer code overloaded (degradable: the router fails over to
+// replicas) and /healthz answers 503 {"status":"recovering"}.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SetRecovery records what boot-time crash recovery did; surfaced under
+// "recovery" in /v2/stats.
+func (s *Server) SetRecovery(info api.RecoveryInfo) { s.recovery.Store(&info) }
+
+func (s *Server) state() string {
+	if s.ready.Load() {
+		return api.StateReady
+	}
+	return api.StateRecovering
+}
+
+// gate rejects data-path requests while the node is recovering.
+func (s *Server) gate(w http.ResponseWriter) bool {
+	if s.ready.Load() {
+		return true
+	}
+	writeErr(w, api.Errorf(api.CodeOverloaded, "node is recovering its persistent log; retry shortly"))
+	return false
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	// the streaming bulk-ingest endpoint is exempt from the body cap: it
+	// decodes incrementally and never buffers the corpus, so its size is
+	// bounded by the store, not by memory
+	if !(r.Method == http.MethodPost && r.URL.Path == "/v2/load/stream") {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -150,6 +198,9 @@ type loadRequest = api.LoadRequest
 type loadResponse = api.LoadResponse
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	var req loadRequest
 	if !decode(w, r, &req) {
 		return
@@ -167,8 +218,89 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 		ts[i] = t
 	}
-	ids := s.eng.Add(ts)
+	ids, err := s.eng.Add(ts)
+	if err != nil {
+		writeErr(w, api.FromError(err))
+		return
+	}
 	writeJSON(w, http.StatusOK, loadResponse{Loaded: len(ids), IDs: ids, Total: s.eng.Len()})
+}
+
+// streamLoadBatch is how many NDJSON records are buffered before each
+// engine.Add: large enough to amortize the per-batch index rebuild and
+// log write, small enough that memory stays flat at any corpus size.
+const streamLoadBatch = 512
+
+// handleLoadStream is the streaming bulk-ingest endpoint: an NDJSON body
+// with one api.Trajectory object per record ({"points":[[x,y,t],...]},
+// unknown fields such as "id" ignored — the engine assigns global IDs).
+// Records are validated and committed in batches as they arrive, so a
+// 1M-trajectory corpus streams through constant memory straight into the
+// engine (and its write-ahead log when persistence is on). On a
+// mid-stream error, records of already-committed batches remain loaded;
+// the error message carries the committed count.
+func (s *Server) handleLoadStream(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
+	start := time.Now()
+	dec := json.NewDecoder(r.Body)
+	batch := make([]traj.Trajectory, 0, streamLoadBatch)
+	firstID, loaded := -1, 0
+	flush := func() *api.Error {
+		if len(batch) == 0 {
+			return nil
+		}
+		ids, err := s.eng.Add(batch)
+		if err != nil {
+			return api.FromError(err)
+		}
+		if firstID < 0 {
+			firstID = ids[0]
+		}
+		loaded += len(ids)
+		batch = batch[:0]
+		return nil
+	}
+	recNo := 0
+	for {
+		var wt Trajectory
+		if err := dec.Decode(&wt); err == io.EOF {
+			break
+		} else if err != nil {
+			writeErr(w, api.Errorf(api.CodeInvalidArgument,
+				"stream record %d: bad JSON (%d records already committed): %v", recNo+1, loaded, err))
+			return
+		}
+		recNo++
+		t, aerr := wt.ToTraj()
+		if aerr != nil {
+			writeErr(w, api.Errorf(api.CodeInvalidArgument,
+				"stream record %d (%d records already committed): %s", recNo, loaded, aerr.Message))
+			return
+		}
+		batch = append(batch, t)
+		if len(batch) == streamLoadBatch {
+			if aerr := flush(); aerr != nil {
+				writeErr(w, aerr)
+				return
+			}
+		}
+	}
+	if aerr := flush(); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	if recNo == 0 {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "empty load stream"))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.BulkLoadResponse{
+		Loaded:  loaded,
+		FirstID: firstID,
+		Total:   s.eng.Len(),
+		TookMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
 }
 
 type topkRequest struct {
@@ -188,6 +320,9 @@ type topkResponse struct {
 // handleTopK is the /v1 single-query adapter: the request is recast as a
 // one-spec api.QuerySpec and answered by the same engine path as /v2.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	var req topkRequest
 	if !decode(w, r, &req) {
 		return
@@ -326,9 +461,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		Measures:      sim.Names(),
+		State:         s.state(),
+		Recovery:      s.recovery.Load(),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": api.StateRecovering})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

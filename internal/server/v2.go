@@ -23,6 +23,9 @@ import (
 // failures are reported inside their result; only envelope-level problems
 // (no specs, oversized batch, bad JSON) fail the request.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	var req api.Query
 	if !decode(w, r, &req) {
 		return
@@ -55,6 +58,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // ordinary error envelope and status; failures mid-stream arrive as a
 // trailing error record (the status line is long gone by then).
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	var req api.StreamQuery
 	if !decode(w, r, &req) {
 		return
@@ -98,6 +104,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 // handleGetTrajectory answers GET /v2/trajectories/{id} with the stored
 // trajectory, or a not_found typed error for an unassigned ID.
 func (s *Server) handleGetTrajectory(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, api.Errorf(api.CodeInvalidArgument, "trajectory id %q is not an integer", r.PathValue("id")))

@@ -276,7 +276,10 @@ func TestV2GetTrajectory(t *testing.T) {
 	rng := rand.New(rand.NewSource(88))
 	ts, eng := newTestServer(t, engine.Config{Shards: 3})
 	stored := randWalk(rng, 9)
-	ids := eng.Add([]traj.Trajectory{stored})
+	ids, loadErr := eng.Add([]traj.Trajectory{stored})
+	if loadErr != nil {
+		t.Fatal(loadErr)
+	}
 
 	resp, err := http.Get(ts.URL + "/v2/trajectories/0")
 	if err != nil {

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapPath on platforms without syscall.Mmap falls back to reading the
+// whole file into memory; recovery is then copy-based rather than
+// zero-copy, with identical semantics.
+func mmapPath(path string) (data []byte, release func() error, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: reading %s: %w", path, err)
+	}
+	if len(data) == 0 {
+		data = nil
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapPath maps path read-only in its entirety. The returned release
+// function unmaps; data must not be touched afterwards. An empty file
+// yields a nil slice and a no-op release.
+func mmapPath(path string) (data []byte, release func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: opening %s: %w", path, err)
+	}
+	defer f.Close() // the mapping survives the fd
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(fi.Size())
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

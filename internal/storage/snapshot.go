@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"simsub/internal/core"
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+// Snapshot file layout ("SSNP" header, then the shared record framing):
+//
+//	manifest record payload := applied:u64 generation:u64
+//	meta record payload     := id:i64 n:u32 nrev:u32 mbr:4*f64 revpoint[nrev]
+//
+// The manifest comes first and states how many records the snapshot covers
+// (applied) — exactly that many meta records follow, in ID order. The
+// generation counter increases with every snapshot so a fallback file is
+// recognizably older. Reversal points start 48 bytes into the payload
+// (8-aligned), so recovery serves TrajMeta.Rev zero-copy from the snapshot
+// mapping just as trajectory points are served from segment mappings.
+const (
+	manifestPayloadSize = 16
+	metaHeaderSize      = 48
+)
+
+// writeSnapshot persists metas for recs to a new snapshot file, atomically
+// (temp file + fsync + rename).
+func (s *Store) writeSnapshot(recs []Record) error {
+	gen := uint64(len(recs)) // record count is monotone, so it doubles as generation
+	buf := fileHeader(snapMagic)
+	var payload []byte
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(recs)))
+	payload = binary.LittleEndian.AppendUint64(payload, gen)
+	buf = appendFramed(buf, payload)
+	for _, r := range recs {
+		payload = payload[:0]
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(int64(r.ID)))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(r.Meta.N))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(r.Meta.Rev.Len()))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(r.Meta.MBR.MinX))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(r.Meta.MBR.MinY))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(r.Meta.MBR.MaxX))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(r.Meta.MBR.MaxY))
+		payload = appendPoints(payload, r.Meta.Rev.Points)
+		buf = appendFramed(buf, payload)
+	}
+
+	tmp := filepath.Join(s.dir, ".tmp"+snapSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating snapshot temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	final := filepath.Join(s.dir, snapName(len(recs)))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: committing snapshot: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// appendFramed appends one framed record (len | crc | payload) to buf.
+func appendFramed(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// loadBestSnapshot tries snapshots newest-first and returns the metadata
+// of the first one that validates AND is covered by the recovered log
+// (applied <= logRecords — a snapshot ahead of the log means the log lost
+// a tail the snapshot saw; trusting it would resurrect truncated records'
+// metadata with wrong indices). Invalid candidates count as discarded.
+// Returns (nil, 0) when no snapshot is usable.
+func (s *Store) loadBestSnapshot(snaps []int, logRecords int, stats *RecoveryStats) ([]core.TrajMeta, int) {
+	for i := len(snaps) - 1; i >= 0; i-- {
+		path := filepath.Join(s.dir, snapName(snaps[i]))
+		metas, applied, err := s.readSnapshot(path)
+		if err != nil || applied > logRecords {
+			stats.SnapshotsDiscarded++
+			continue
+		}
+		return metas, applied
+	}
+	return nil, 0
+}
+
+// readSnapshot maps and decodes one snapshot file. The mapping is retained
+// (returned Rev points alias it). Any framing or consistency violation is
+// an error: snapshots are atomic, so a partial one is simply not trusted.
+func (s *Store) readSnapshot(path string) ([]core.TrajMeta, int, error) {
+	data, unmap, err := mmapPath(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	s.unmaps = append(s.unmaps, unmap)
+	s.mu.Unlock()
+
+	if err := checkFileHeader(data, snapMagic, path); err != nil {
+		return nil, 0, err
+	}
+	off := fileHeaderSize
+	plen, ok := frameAt(data, off)
+	if !ok || plen != manifestPayloadSize {
+		return nil, 0, fmt.Errorf("storage: %s: bad snapshot manifest", path)
+	}
+	applied := int(binary.LittleEndian.Uint64(data[off+recHeaderSize:]))
+	off += recHeaderSize + plen
+
+	metas := make([]core.TrajMeta, 0, applied)
+	for i := 0; i < applied; i++ {
+		plen, ok := frameAt(data, off)
+		if !ok || plen < metaHeaderSize {
+			return nil, 0, fmt.Errorf("storage: %s: torn snapshot at meta record %d", path, i)
+		}
+		p := data[off+recHeaderSize : off+recHeaderSize+plen]
+		id := int64(binary.LittleEndian.Uint64(p))
+		n := int(binary.LittleEndian.Uint32(p[8:]))
+		nrev := int(binary.LittleEndian.Uint32(p[12:]))
+		if id != int64(i) || plen != metaHeaderSize+nrev*pointSize {
+			return nil, 0, fmt.Errorf("storage: %s: inconsistent meta record %d", path, i)
+		}
+		mbr := geo.Rect{
+			MinX: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+			MinY: math.Float64frombits(binary.LittleEndian.Uint64(p[24:])),
+			MaxX: math.Float64frombits(binary.LittleEndian.Uint64(p[32:])),
+			MaxY: math.Float64frombits(binary.LittleEndian.Uint64(p[40:])),
+		}
+		metas = append(metas, core.TrajMeta{
+			N:   n,
+			MBR: mbr,
+			Rev: traj.Trajectory{ID: int(id), Points: viewPoints(data, off+recHeaderSize+metaHeaderSize, nrev)},
+		})
+		off += recHeaderSize + plen
+	}
+	return metas, applied, nil
+}

@@ -1,0 +1,299 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"simsub/internal/geo"
+	"simsub/internal/traj"
+)
+
+func genTrajs(rng *rand.Rand, n int) []traj.Trajectory {
+	ts := make([]traj.Trajectory, n)
+	for i := range ts {
+		npts := 2 + rng.Intn(30)
+		pts := make([]geo.Point, npts)
+		x, y := rng.Float64()*100, rng.Float64()*100
+		for j := range pts {
+			x += rng.NormFloat64()
+			y += rng.NormFloat64()
+			pts[j] = geo.Point{X: x, Y: y, T: float64(j)}
+		}
+		ts[i] = traj.Trajectory{Points: pts}
+	}
+	return ts
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Store, *RecoveryStats) {
+	t.Helper()
+	s, rs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rs
+}
+
+// equalRecords asserts ids, points and metadata match between stores.
+func equalRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("record count: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ID != w.ID {
+			t.Fatalf("record %d: id %d, want %d", i, g.ID, w.ID)
+		}
+		if !reflect.DeepEqual(g.Traj.Points, w.Traj.Points) {
+			t.Fatalf("record %d: points differ", i)
+		}
+		if g.Meta.MBR != w.Meta.MBR || g.Meta.N != w.Meta.N {
+			t.Fatalf("record %d: meta differs: %+v vs %+v", i, g.Meta, w.Meta)
+		}
+		if len(g.Meta.Rev.Points) != 0 || len(w.Meta.Rev.Points) != 0 {
+			if !reflect.DeepEqual(g.Meta.Rev.Points, w.Meta.Rev.Points) {
+				t.Fatalf("record %d: reversal differs", i)
+			}
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	ts := genTrajs(rng, 200)
+
+	s1, rs := mustOpen(t, dir, Options{SegmentBytes: 8 << 10}) // force several rolls
+	if rs.Records != 0 {
+		t.Fatalf("fresh dir recovered %d records", rs.Records)
+	}
+	var want []Record
+	for i := 0; i < len(ts); i += 7 {
+		end := min(i+7, len(ts))
+		recs, err := s1.Append(ts[i:end])
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		want = append(want, recs...)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rs2 := mustOpen(t, dir, Options{SegmentBytes: 8 << 10})
+	defer s2.Close()
+	if rs2.Records != len(ts) || rs2.Segments < 2 {
+		t.Fatalf("recovery stats: %+v", rs2)
+	}
+	// Close wrote a final snapshot: nothing should have been re-derived
+	if rs2.SnapshotRecords != len(ts) || rs2.Replayed != 0 {
+		t.Fatalf("expected full snapshot coverage, got %+v", rs2)
+	}
+	equalRecords(t, s2.Records(), want)
+
+	// appends must continue the dense ID sequence after recovery
+	more, err := s2.Append(genTrajs(rng, 3))
+	if err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	if more[0].ID != len(ts) || more[2].ID != len(ts)+2 {
+		t.Fatalf("post-recovery ids: %d..%d, want %d..%d", more[0].ID, more[2].ID, len(ts), len(ts)+2)
+	}
+}
+
+func TestRecoveryWithoutSnapshotReplays(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := mustOpen(t, dir, Options{})
+	ts := genTrajs(rand.New(rand.NewSource(2)), 50)
+	if _, err := s1.Append(ts); err != nil {
+		t.Fatal(err)
+	}
+	want := s1.Records()
+	// simulate kill -9: no Close, no snapshot
+	if err := s1.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rs := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if rs.Replayed != 50 || rs.SnapshotRecords != 0 {
+		t.Fatalf("expected full replay, got %+v", rs)
+	}
+	equalRecords(t, s2.Records(), want)
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 3, 9, 17, 23} { // bytes to chop off the tail
+		dir := t.TempDir()
+		s1, _ := mustOpen(t, dir, Options{})
+		ts := genTrajs(rand.New(rand.NewSource(3)), 20)
+		if _, err := s1.Append(ts); err != nil {
+			t.Fatal(err)
+		}
+		full := s1.Records()
+		s1.Sync()
+
+		seg := filepath.Join(dir, segName(0))
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(seg, fi.Size()-int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		s2, rs := mustOpen(t, dir, Options{})
+		if rs.TornTailTruncations != 1 {
+			t.Fatalf("cut=%d: expected a torn-tail truncation, got %+v", cut, rs)
+		}
+		got := s2.Records()
+		if len(got) != len(full)-1 {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(got), len(full)-1)
+		}
+		equalRecords(t, got, full[:len(full)-1])
+		// the store must accept appends after truncation
+		if _, err := s2.Append(genTrajs(rand.New(rand.NewSource(4)), 2)); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		s2.Close()
+
+		s3, rs3 := mustOpen(t, dir, Options{})
+		if rs3.TornTailTruncations != 0 || rs3.Records != len(full)+1 {
+			t.Fatalf("cut=%d: second recovery: %+v", cut, rs3)
+		}
+		s3.Close()
+	}
+}
+
+func TestTornSnapshotDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := mustOpen(t, dir, Options{})
+	ts := genTrajs(rand.New(rand.NewSource(5)), 30)
+	if _, err := s1.Append(ts); err != nil {
+		t.Fatal(err)
+	}
+	want := s1.Records()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := filepath.Join(dir, snapName(30))
+	fi, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(snap, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rs := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if rs.SnapshotsDiscarded != 1 || rs.Replayed != 30 {
+		t.Fatalf("expected discarded snapshot + full replay, got %+v", rs)
+	}
+	equalRecords(t, s2.Records(), want)
+}
+
+func TestSnapshotAheadOfLogDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := mustOpen(t, dir, Options{})
+	ts := genTrajs(rand.New(rand.NewSource(6)), 10)
+	if _, err := s1.Append(ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	full := s1.Records()
+	s1.Sync()
+
+	// chop the last record off the log: the snapshot now covers more
+	// records than the log holds and must not be trusted
+	seg := filepath.Join(dir, segName(0))
+	fi, _ := os.Stat(seg)
+	last := full[len(full)-1]
+	recBytes := int64(recHeaderSize + trajHeaderSize + last.Traj.Len()*pointSize)
+	if err := os.Truncate(seg, fi.Size()-recBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rs := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if rs.SnapshotsDiscarded != 1 {
+		t.Fatalf("expected over-reaching snapshot discarded, got %+v", rs)
+	}
+	if rs.Records != 9 {
+		t.Fatalf("recovered %d records, want 9", rs.Records)
+	}
+	equalRecords(t, s2.Records(), full[:9])
+}
+
+func TestSnapshotPruning(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(genTrajs(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, snaps, err := s.listFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) > 2 {
+		t.Fatalf("snapshot pruning left %d files: %v", len(snaps), snaps)
+	}
+}
+
+func TestSnapshotNoopWhenCurrent(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{})
+	if _, err := s.Append(genTrajs(rand.New(rand.NewSource(8)), 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SnapshotCovered(); got != 5 {
+		t.Fatalf("SnapshotCovered = %d, want 5", got)
+	}
+	_, snaps, _ := s.listFiles()
+	if err := s.Snapshot(); err != nil { // no new records: must be a no-op
+		t.Fatal(err)
+	}
+	_, snaps2, _ := s.listFiles()
+	if len(snaps2) != len(snaps) {
+		t.Fatalf("no-op snapshot wrote a file: %v -> %v", snaps, snaps2)
+	}
+	s.Close()
+}
+
+func TestEmptyTrajectoryRecord(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := mustOpen(t, dir, Options{})
+	ts := []traj.Trajectory{
+		{Points: []geo.Point{{X: 1, Y: 2, T: 0}}},
+		{Points: nil}, // degenerate but must round-trip
+		{Points: []geo.Point{{X: 3, Y: 4, T: 0}, {X: 5, Y: 6, T: 1}}},
+	}
+	if _, err := s1.Append(ts); err != nil {
+		t.Fatal(err)
+	}
+	want := s1.Records()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	equalRecords(t, s2.Records(), want)
+}

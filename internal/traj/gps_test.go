@@ -1,0 +1,146 @@
+package traj
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"simsub/internal/geo"
+)
+
+func TestReadCSVRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{"NaN", "Inf", "-Inf"} {
+		in := "id,seq,x,y,t\n0,0,1,2,0\n0,1," + bad + ",3,1\n"
+		_, err := ReadCSV(strings.NewReader(in))
+		if !errors.Is(err, ErrNonFiniteCoordinate) {
+			t.Errorf("%s coordinate: got %v, want ErrNonFiniteCoordinate", bad, err)
+		}
+	}
+}
+
+func TestReadCSVRejectsDuplicateID(t *testing.T) {
+	in := "id,seq,x,y,t\n0,0,1,2,0\n1,0,3,4,0\n0,0,5,6,0\n"
+	_, err := ReadCSV(strings.NewReader(in))
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("re-appearing id: got %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestReadCSVStillAcceptsValidInput(t *testing.T) {
+	ts := []Trajectory{
+		{ID: 3, Points: []geo.Point{{X: 1, Y: 2, T: 0}, {X: 3, Y: 4, T: 1}}},
+		{ID: 7, Points: []geo.Point{{X: 5, Y: 6, T: 0}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].ID != 3 || !back[0].Equal(ts[0]) || !back[1].Equal(ts[1]) {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+const portoSample = `TRIP_ID,CALL_TYPE,ORIGIN_CALL,ORIGIN_STAND,TAXI_ID,TIMESTAMP,DAY_TYPE,MISSING_DATA,POLYLINE
+1372636858620000589,C,,,20000589,1372636858,A,False,"[[-8.618643,41.141412],[-8.618499,41.141376],[-8.620326,41.14251]]"
+1372637303620000596,B,,7,20000596,1372637303,A,True,"[[-8.639847,41.159826]]"
+1372636951620000320,C,,,20000320,1372636951,A,False,"[]"
+1372637091620000337,C,,,20000337,1372637091,A,False,"[[-8.612964,41.140359],[-8.613378,41.14035]]"
+`
+
+func TestReadPortoCSV(t *testing.T) {
+	ts, err := ReadPortoCSV(strings.NewReader(portoSample), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// trip 2 has MISSING_DATA=True, trip 3 an empty polyline: both skipped
+	if len(ts) != 2 {
+		t.Fatalf("got %d trips, want 2: %+v", len(ts), ts)
+	}
+	first := ts[0]
+	if first.ID != 0 || first.Len() != 3 {
+		t.Fatalf("first trip: %+v", first)
+	}
+	if first.Pt(0).X != -8.618643 || first.Pt(0).Y != 41.141412 {
+		t.Fatalf("lon/lat mapping wrong: %+v", first.Pt(0))
+	}
+	// 15 s sampling anchored at the trip's TIMESTAMP
+	if first.Pt(0).T != 1372636858 || first.Pt(2).T != 1372636858+2*portoSampleInterval {
+		t.Fatalf("timestamps: %v, %v", first.Pt(0).T, first.Pt(2).T)
+	}
+	if ts[1].ID != 1 || ts[1].Len() != 2 {
+		t.Fatalf("second trip: %+v", ts[1])
+	}
+}
+
+func TestReadPortoCSVMaxTrips(t *testing.T) {
+	ts, err := ReadPortoCSV(strings.NewReader(portoSample), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("maxTrips=1 returned %d trips", len(ts))
+	}
+}
+
+func TestReadPortoCSVRejectsBadPolyline(t *testing.T) {
+	in := "TRIP_ID,POLYLINE\n1,\"[[1,2],[3]]\"\n"
+	if _, err := ReadPortoCSV(strings.NewReader(in), 0); err == nil {
+		t.Fatal("malformed polyline accepted")
+	}
+}
+
+const tdriveSample = `1,2008-02-02 15:36:08,116.51172,39.92123
+1,2008-02-02 15:46:08,116.51135,39.93883
+2,2008-02-02 13:33:52,116.36422,39.88781
+2,2008-02-02 13:43:52,116.37481,39.88782
+`
+
+func TestReadTDriveCSV(t *testing.T) {
+	ts, err := ReadTDriveCSV(strings.NewReader(tdriveSample), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Len() != 2 || ts[1].Len() != 2 {
+		t.Fatalf("got %+v", ts)
+	}
+	if ts[0].Pt(0).X != 116.51172 || ts[0].Pt(0).Y != 39.92123 {
+		t.Fatalf("lon/lat mapping wrong: %+v", ts[0].Pt(0))
+	}
+	if dt := ts[0].Pt(1).T - ts[0].Pt(0).T; dt != 600 {
+		t.Fatalf("timestamp delta %v, want 600s", dt)
+	}
+}
+
+func TestReadTDriveCSVRejectsReappearingTaxi(t *testing.T) {
+	in := tdriveSample + "1,2008-02-02 16:00:00,116.5,39.9\n"
+	_, err := ReadTDriveCSV(strings.NewReader(in), 0)
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("got %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	ts := []Trajectory{
+		{ID: 0, Points: []geo.Point{{X: 1, Y: 2, T: 3}, {X: 4, Y: 5, T: 6}}},
+		{ID: 1, Points: []geo.Point{{X: 7, Y: 8, T: 9}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("NDJSON has %d lines, want 2", lines)
+	}
+	back, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !back[0].Equal(ts[0]) || !back[1].Equal(ts[1]) || back[1].ID != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}

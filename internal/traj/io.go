@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 
@@ -36,8 +38,23 @@ func WriteCSV(w io.Writer, ts []Trajectory) error {
 	return cw.Error()
 }
 
+// Typed ingestion errors. ReadCSV and the GPS-dump readers wrap these
+// with line context, so callers can errors.Is-match the cause — the same
+// validation the wire boundary applies in api.Trajectory.ToTraj.
+var (
+	// ErrNonFiniteCoordinate marks a NaN or ±Inf coordinate in an input
+	// file. Non-finite values poison every distance kernel downstream.
+	ErrNonFiniteCoordinate = errors.New("non-finite coordinate")
+	// ErrDuplicateID marks a trajectory ID that re-appears after its point
+	// group ended — a corrupt or mis-sorted file that would silently split
+	// one logical trajectory into several.
+	ErrDuplicateID = errors.New("duplicate trajectory id")
+)
+
 // ReadCSV reads trajectories from the format produced by WriteCSV. Points
 // must be grouped by trajectory id and ordered by seq within each group.
+// NaN/Inf coordinates and re-appearing trajectory IDs are rejected with
+// errors wrapping ErrNonFiniteCoordinate / ErrDuplicateID.
 func ReadCSV(r io.Reader) ([]Trajectory, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
@@ -49,6 +66,7 @@ func ReadCSV(r io.Reader) ([]Trajectory, error) {
 		return nil, fmt.Errorf("traj: expected 5 CSV columns, got %d", len(header))
 	}
 	var out []Trajectory
+	seen := make(map[int]bool)
 	cur := -1
 	line := 1
 	for {
@@ -70,7 +88,14 @@ func ReadCSV(r io.Reader) ([]Trajectory, error) {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return nil, fmt.Errorf("traj: line %d: bad coordinates", line)
 		}
+		if !isFinite(x) || !isFinite(y) || !isFinite(tm) {
+			return nil, fmt.Errorf("traj: line %d: %w", line, ErrNonFiniteCoordinate)
+		}
 		if id != cur {
+			if seen[id] {
+				return nil, fmt.Errorf("traj: line %d: %w %d", line, ErrDuplicateID, id)
+			}
+			seen[id] = true
 			out = append(out, Trajectory{ID: id})
 			cur = id
 		}
@@ -79,6 +104,8 @@ func ReadCSV(r io.Reader) ([]Trajectory, error) {
 	}
 	return out, nil
 }
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // SaveCSV writes trajectories to the named file in CSV format.
 func SaveCSV(path string, ts []Trajectory) (err error) {
