@@ -309,11 +309,19 @@ type Stats struct {
 	EarlyAbandoned int64 `json:"early_abandoned"`
 	// Learned-search serving state: whether a policy is registered, its
 	// algorithm name and content fingerprint, and how many queries the
-	// learned searches have answered.
-	PolicyLoaded      bool   `json:"policy_loaded"`
-	PolicyName        string `json:"policy_name,omitempty"`
-	PolicyFingerprint string `json:"policy_fingerprint,omitempty"`
-	RLSQueries        int64  `json:"rls_queries"`
+	// learned searches have answered. The PolicyCompile* fields describe
+	// the compiled table policy when one is serving (policy-compile): its
+	// per-dimension grid resolution, the action-divergence rate measured
+	// against the source network at compile time, and the table's own
+	// content hash, which the serving PolicyFingerprint folds in.
+	PolicyLoaded              bool    `json:"policy_loaded"`
+	PolicyName                string  `json:"policy_name,omitempty"`
+	PolicyFingerprint         string  `json:"policy_fingerprint,omitempty"`
+	PolicyCompiled            bool    `json:"policy_compiled,omitempty"`
+	PolicyCompileResolution   int     `json:"policy_compile_resolution,omitempty"`
+	PolicyCompileDivergence   float64 `json:"policy_compile_divergence,omitempty"`
+	PolicyCompiledFingerprint string  `json:"policy_compiled_fingerprint,omitempty"`
+	RLSQueries                int64   `json:"rls_queries"`
 	// Sampled serving-quality aggregates of the learned searches (enabled
 	// by the engine's QualitySample knob; all zero while no query has been
 	// sampled): the mean approximation ratio of sampled rankings against
@@ -331,22 +339,31 @@ type Stats struct {
 // PolicySwapRequest is the body of POST /v2/admin/policy: exactly one of
 // Path (a server-local policy file, for operators colocated with the
 // daemon) or PolicyB64 (the policy file's bytes, base64, for remote
-// admin) must be set. The new policy is validated before it replaces the
-// old one; a rejected swap leaves the previous registration serving.
+// admin) must be set. CompileResolution > 0 additionally compiles the
+// policy onto a dense action-lookup table at that per-dimension grid
+// resolution before it serves (the O(1) table path); 0 serves the network
+// directly. The new policy is validated (and compiled) before it replaces
+// the old one; a rejected swap leaves the previous registration serving.
 type PolicySwapRequest struct {
-	Path      string `json:"path,omitempty"`
-	PolicyB64 string `json:"policy_b64,omitempty"`
+	Path              string `json:"path,omitempty"`
+	PolicyB64         string `json:"policy_b64,omitempty"`
+	CompileResolution int    `json:"compile_resolution,omitempty"`
 }
 
 // PolicyInfo answers GET and POST /v2/admin/policy: the registered
 // policy's algorithm name ("RLS", "RLS-Skip" or "RLS-Skip+"), MDP shape
-// and content fingerprint.
+// and content fingerprint, plus the compiled-table descriptors when the
+// table path is serving (see the PolicyCompile* fields of Stats).
 type PolicyInfo struct {
-	Name          string `json:"name"`
-	K             int    `json:"k"`
-	UseSuffix     bool   `json:"use_suffix"`
-	SimplifyState bool   `json:"simplify_state"`
-	Fingerprint   string `json:"fingerprint"`
+	Name                string  `json:"name"`
+	K                   int     `json:"k"`
+	UseSuffix           bool    `json:"use_suffix"`
+	SimplifyState       bool    `json:"simplify_state"`
+	Fingerprint         string  `json:"fingerprint"`
+	Compiled            bool    `json:"compiled,omitempty"`
+	CompileResolution   int     `json:"compile_resolution,omitempty"`
+	CompileDivergence   float64 `json:"compile_divergence,omitempty"`
+	CompiledFingerprint string  `json:"compiled_fingerprint,omitempty"`
 }
 
 // StatsResponse answers GET /v1/stats and GET /v2/stats.

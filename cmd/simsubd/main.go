@@ -55,6 +55,8 @@ func main() {
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "how often to snapshot derived metadata when -data-dir is set")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request search timeout cap")
 		policyPath = flag.String("policy", "", "optional RLS/RLS-Skip policy file (cmd/train -mode rls) enabling the learned algorithms")
+		policyRes  = flag.Int("policy-compile", 0, "compile the -policy network onto a dense action table at this grid resolution (0 = serve the network directly)")
+		batchLanes = flag.Int("batch-lanes", 0, "lockstep lanes per shard scan for the learned searches (0 = default 64, 1 = sequential)")
 		qualitySam = flag.Float64("quality-sample", 0, "fraction of learned-search queries re-scored against the exact ranking for serving-quality stats")
 	)
 	flag.Parse()
@@ -77,17 +79,27 @@ func main() {
 		CacheSize:     *cacheSize,
 		Index:         kind,
 		QualitySample: *qualitySam,
+		BatchLanes:    *batchLanes,
 	})
+	if *policyRes != 0 && *policyPath == "" {
+		log.Fatalf("-policy-compile requires -policy")
+	}
 	if *policyPath != "" {
 		p, err := rl.LoadFile(*policyPath)
 		if err != nil {
 			log.Fatalf("loading policy %s: %v", *policyPath, err)
 		}
-		info, err := eng.SetPolicy(p)
+		info, err := eng.SetPolicyCompiled(p, *policyRes)
 		if err != nil {
 			log.Fatalf("registering policy %s: %v", *policyPath, err)
 		}
-		log.Printf("serving %s policy from %s (k=%d, fingerprint %s)", info.Name, *policyPath, info.K, info.Fingerprint)
+		if info.Compiled {
+			log.Printf("serving %s policy from %s (k=%d, fingerprint %s; compiled table res=%d divergence=%.4f fingerprint %s)",
+				info.Name, *policyPath, info.K, info.Fingerprint,
+				info.CompileResolution, info.CompileDivergence, info.CompiledFingerprint)
+		} else {
+			log.Printf("serving %s policy from %s (k=%d, fingerprint %s)", info.Name, *policyPath, info.K, info.Fingerprint)
+		}
 	}
 
 	handler := server.New(eng, server.Options{MaxTimeout: *timeout})

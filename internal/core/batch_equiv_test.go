@@ -1,0 +1,203 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"simsub/internal/geo"
+	"simsub/internal/nn"
+	"simsub/internal/rl"
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// noisyPolicy builds a policy with random (DQN-initialization) weights: its
+// actions depend on the state, so batched lanes diverge from each other and
+// the lockstep machinery is exercised much harder than by a constant policy.
+func noisyPolicy(seed int64, k int, useSuffix, simplify bool) *rl.Policy {
+	dim := rl.StateDim(useSuffix)
+	net := nn.NewMLP([]int{dim, 8, 2 + k}, []nn.Activation{nn.ReLU, nn.Sigmoid}, rand.New(rand.NewSource(seed)))
+	return &rl.Policy{Net: net, K: k, UseSuffix: useSuffix, SimplifyState: simplify}
+}
+
+// TestBatchScanEquivalence is the batched counterpart of the pruned≡unpruned
+// matrix: across measures, policies (network- and table-served), lane widths
+// and spatial filters, TopKPrunedBatchCtx must return rankings byte-identical
+// to the sequential TopKPrunedCtx — out-of-order completion must be
+// invisible in the answer.
+func TestBatchScanEquivalence(t *testing.T) {
+	data := equivData(300, 18, 41)
+	db := NewDatabase(data, false)
+	q := equivData(1, 6, 42)[0]
+	filter := &geo.Rect{MinX: 0, MinY: 0, MaxX: 14, MaxY: 14}
+
+	table, err := rl.Compile(noisyPolicy(7, 2, true, true), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	algs := func(m sim.Measure) []RLS {
+		return []RLS{
+			{M: m, Policy: constPolicy(1, 0, true, false)}, // RLS, always split
+			{M: m, Policy: noisyPolicy(3, 3, true, true)},  // RLS-Skip
+			{M: m, Policy: noisyPolicy(4, 3, false, true)}, // RLS-Skip+
+			{M: m, Table: table},                           // compiled table serving
+		}
+	}
+	const k = 10
+	for _, m := range []sim.Measure{sim.DTW{}, sim.Frechet{}} {
+		for ai, alg := range algs(m) {
+			if _, ok := Algorithm(alg).(BatchThresholdSearcher); !ok {
+				t.Fatal("RLS does not implement BatchThresholdSearcher")
+			}
+			for _, f := range []*geo.Rect{nil, filter} {
+				want, err := db.TopKPrunedCtx(context.Background(), alg, q, k, f, NewSharedKth(k), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, lanes := range []int{1, 7, 64} {
+					var st PruneStats
+					got, err := db.TopKPrunedBatchCtx(context.Background(), alg, q, k, f, NewSharedKth(k), &st, lanes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s/%s alg%d lanes=%d filter=%v: %d matches, want %d",
+							m.Name(), alg.Name(), ai, lanes, f != nil, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s/%s alg%d lanes=%d filter=%v rank %d: batched %+v != sequential %+v",
+								m.Name(), alg.Name(), ai, lanes, f != nil, i, got[i], want[i])
+						}
+					}
+					if lanes >= 2 && st.Candidates == 0 {
+						t.Fatalf("%s/%s: batched scan saw no candidates", m.Name(), alg.Name())
+					}
+				}
+				// the serving walk records its scanned-point count, so quality
+				// sampling can price skips without a policy re-walk
+				for _, mt := range want {
+					if mt.Result.Scanned <= 0 {
+						t.Fatalf("%s/%s: match %+v has no Scanned count", m.Name(), alg.Name(), mt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchScanMidScanThreshold seeds the shared k-th-best with a finite tau
+// before the scan starts — the cross-shard case where a sibling has already
+// found matches — and checks the batched completion-time post-filter still
+// reproduces the sequential ranking. The seed values are uniform, so the
+// external threshold component is constant through the scan and the ranking
+// is order-independent: exactly the k best results at distance <= tau.
+func TestBatchScanMidScanThreshold(t *testing.T) {
+	data := equivData(200, 16, 51)
+	db := NewDatabase(data, false)
+	q := equivData(1, 6, 52)[0]
+	const k = 8
+	alg := RLS{M: sim.DTW{}, Policy: noisyPolicy(9, 2, true, true)}
+
+	// pick tau at the median completed distance so the post-filter really
+	// suppresses about half of the candidates mid-scan
+	probe, err := db.TopKPrunedCtx(context.Background(), alg, q, len(data), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := probe[len(probe)/2].Result.Dist
+	if math.IsInf(tau, 1) {
+		t.Fatal("probe scan produced no finite distances")
+	}
+	seeded := func() *SharedKth {
+		s := NewSharedKth(k)
+		for i := 0; i < k; i++ {
+			s.Offer(tau)
+		}
+		return s
+	}
+
+	var stSeq PruneStats
+	want, err := db.TopKPrunedCtx(context.Background(), alg, q, k, nil, seeded(), &stSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range want {
+		if mt.Result.Dist > tau {
+			t.Fatalf("sequential scan retained %+v beyond the seeded tau %v", mt, tau)
+		}
+	}
+	for _, lanes := range []int{7, 64} {
+		var st PruneStats
+		got, err := db.TopKPrunedBatchCtx(context.Background(), alg, q, k, nil, seeded(), &st, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("lanes=%d: %d matches, want %d", lanes, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("lanes=%d rank %d: batched %+v != sequential %+v", lanes, i, got[i], want[i])
+			}
+		}
+		if st.Abandoned == 0 {
+			t.Errorf("lanes=%d: seeded tau never suppressed a completed walk", lanes)
+		}
+	}
+}
+
+// TestBatchScanDegenerate drives the batched entry points through the guard
+// paths: a policy-less algorithm, an empty query and a cancelled context.
+func TestBatchScanDegenerate(t *testing.T) {
+	data := equivData(20, 10, 61)
+	db := NewDatabase(data, false)
+	q := equivData(1, 5, 62)[0]
+
+	// no policy: every candidate completes with an infinite distance, same
+	// as the sequential degenerate path
+	for _, alg := range []RLS{{M: sim.DTW{}}, {M: sim.DTW{}, Policy: &rl.Policy{}}} {
+		got, err := db.TopKPrunedBatchCtx(context.Background(), alg, q, 5, nil, nil, nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.TopKPrunedCtx(context.Background(), alg, q, 5, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("degenerate: %d matches, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("degenerate rank %d: %+v != %+v", i, got[i], want[i])
+			}
+		}
+	}
+
+	// empty query: same degenerate contract
+	alg := RLS{M: sim.DTW{}, Policy: constPolicy(1, 0, true, false)}
+	got, err := db.TopKPrunedBatchCtx(context.Background(), alg, traj.Trajectory{}, 5, nil, nil, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range got {
+		if !math.IsInf(mt.Result.Dist, 1) {
+			t.Fatalf("empty query produced a finite match %+v", mt)
+		}
+	}
+
+	// cancelled context: the scan must stop with the context's error
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.TopKPrunedBatchCtx(ctx, alg, q, 5, nil, nil, nil, 16); err == nil {
+		t.Fatal("cancelled context did not abort the batched scan")
+	}
+
+	// lanes < 2 falls back to the sequential scan and still answers
+	if _, err := db.TopKPrunedBatchCtx(context.Background(), alg, q, 5, nil, nil, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,12 @@ type Result struct {
 	// Explored counts the subtrajectory similarity evaluations performed,
 	// an implementation-independent cost proxy.
 	Explored int
+	// Scanned, for policy-walk searches (RLS family), counts the data
+	// points whose prefix state the walk advanced — the complement of the
+	// points a skip policy jumped over. Zero for algorithms that do not
+	// walk a policy; quality scoring falls back to a fresh policy walk
+	// then (see ScoreApproxQuality).
+	Scanned int
 }
 
 // Algorithm is a SimSub search algorithm bound to a similarity measure.

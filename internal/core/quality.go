@@ -47,10 +47,14 @@ type ApproxQuality struct {
 
 // ScoreApproxQuality compares an approximate ranking against the exact
 // ranking computed over the same candidates, query and k. p, when non-nil
-// with skip actions, additionally prices the skipped-point fraction (one
-// policy walk per approximate answer). ok is false when either ranking is
-// empty; MeanRank and SkippedFraction are always valid when ok, while
-// ApproxRatio is valid only when RatioPositions > 0.
+// with skip actions, additionally prices the skipped-point fraction: an
+// answer whose Result carries the serving walk's Scanned count is priced
+// from it directly (the serving and scoring walks are the same policy
+// walk, so the counts agree by construction), and only answers without one
+// — rankings produced outside the search paths — cost a fresh policy walk.
+// ok is false when either ranking is empty; MeanRank and SkippedFraction
+// are always valid when ok, while ApproxRatio is valid only when
+// RatioPositions > 0.
 func ScoreApproxQuality(m sim.Measure, p *rl.Policy, q traj.Trajectory, approx, exact []RankedAnswer) (ApproxQuality, bool) {
 	if len(approx) == 0 || len(exact) == 0 {
 		return ApproxQuality{}, false
@@ -79,7 +83,11 @@ func ScoreApproxQuality(m sim.Measure, p *rl.Policy, q traj.Trajectory, approx, 
 			rankSum += float64(len(exact) + 1)
 		}
 		if p != nil && p.K > 0 {
-			skipSum += SkippedFraction(m, p, a.T, q)
+			if a.R.Scanned > 0 {
+				skipSum += skippedFractionOf(a.R.Scanned, a.T.Len())
+			} else {
+				skipSum += SkippedFraction(m, p, a.T, q)
+			}
 		}
 	}
 	out := ApproxQuality{

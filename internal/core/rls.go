@@ -20,15 +20,42 @@ import (
 type RLS struct {
 	M      sim.Measure
 	Policy *rl.Policy
+	// Table, when non-nil, serves actions from a compiled table policy
+	// (rl.Compile) instead of the network: an O(1) array lookup per
+	// decision. The table carries its own MDP shape, which takes
+	// precedence over Policy's, so a table-only RLS is valid; when both
+	// are set the caller (the engine's policy registry) is responsible
+	// for the table having been compiled from this policy.
+	Table *rl.TablePolicy
+}
+
+// params resolves the MDP shape the search walks: the table's when one is
+// installed, else the policy's. ok is false when neither source is usable.
+func (a RLS) params() (k int, useSuffix, simplify, ok bool) {
+	switch {
+	case a.Table != nil:
+		return a.Table.K, a.Table.UseSuffix, a.Table.SimplifyState, true
+	case a.Policy != nil && a.Policy.Net != nil:
+		return a.Policy.K, a.Policy.UseSuffix, a.Policy.SimplifyState, true
+	}
+	return 0, false, false, false
+}
+
+// src returns the action source matching params.
+func (a RLS) src() rl.ActorSource {
+	if a.Table != nil {
+		return a.Table
+	}
+	return a.Policy
 }
 
 // Name implements Algorithm: "RLS" for split-only policies, "RLS-Skip" for
 // policies with skip actions, with a "+" suffix when Θsuf is dropped.
 func (a RLS) Name() string {
 	name := "RLS"
-	if a.Policy != nil && a.Policy.K > 0 {
+	if k, useSuffix, _, ok := a.params(); ok && k > 0 {
 		name = "RLS-Skip"
-		if !a.Policy.UseSuffix {
+		if !useSuffix {
 			name += "+"
 		}
 	}
@@ -36,75 +63,154 @@ func (a RLS) Name() string {
 }
 
 // Search implements Algorithm: it walks the splitting MDP taking greedy
-// policy actions and returns the best subtrajectory the walk exposes.
-// A nil policy or an empty trajectory on either side yields the empty
-// result (infinite distance, zero interval) instead of panicking, matching
+// actions and returns the best subtrajectory the walk exposes. A missing
+// policy or an empty trajectory on either side yields the empty result
+// (infinite distance, zero interval) instead of panicking, matching
 // ExactS's behavior on an empty data trajectory.
 func (a RLS) Search(t, q traj.Trajectory) Result {
-	if a.Policy == nil || a.Policy.Net == nil || t.Len() == 0 || q.Len() == 0 {
+	_, useSuffix, simplify, ok := a.params()
+	if !ok || t.Len() == 0 || q.Len() == 0 {
 		return Result{Dist: math.Inf(1)}
 	}
 	env := rl.NewSplitEnv(a.M, t, q, rl.EnvConfig{
-		UseSuffix:     a.Policy.UseSuffix,
-		SimplifyState: a.Policy.SimplifyState,
+		UseSuffix:     useSuffix,
+		SimplifyState: simplify,
 	})
-	for !env.Done() {
-		env.Step(a.Policy.Action(env.State()))
+	if a.Table != nil {
+		env.WalkTable(a.Table)
+	} else {
+		actor := a.src().NewActor()
+		defer actor.Release()
+		walk(env, actor)
 	}
 	iv, d := env.Best()
-	return Result{Interval: iv, Dist: d, Explored: env.Explored()}
+	return Result{Interval: iv, Dist: d, Explored: env.Explored(), Scanned: env.Scanned()}
+}
+
+// walk drives one environment to completion with greedy actions, without
+// allocating per step.
+func walk(env *rl.SplitEnv, actor rl.Actor) {
+	var state [3]float64
+	var action [1]int
+	dim := env.StateDim()
+	for !env.Done() {
+		env.StateInto(state[:dim])
+		actor.Actions(state[:dim], 1, action[:])
+		env.Step(action[0])
+	}
 }
 
 // NewThresholdSearch implements ThresholdSearcher for the learned searches.
-// RLS is approximate: with simplified state maintenance its tracked
-// distances can undercut the exact measure value, so the exact-only
-// lower-bound cascade (which bounds true subtrajectory distances) could
-// prune a candidate whose tracked answer would have entered the ranking.
-// The threshold therefore acts purely as a post-filter — the walk always
-// runs, and a completed result strictly beyond tau is suppressed, which is
-// exactly what the top-k heap would do. Rankings stay byte-identical to an
-// unpruned RLS scan.
+//
+// Whether the candidate-level lower-bound cascade applies depends on the
+// policy's state maintenance. With FULL state every interval the walk
+// reports is a genuine subtrajectory whose tracked distance is the true
+// measure value, so — exactly as for the split family — the cascade's
+// bound is below anything the walk could report, and a candidate whose
+// bound beats tau can be skipped without touching the ranking. With
+// SIMPLIFIED state the tracked distance ignores skipped points and can
+// undercut the exact value (even the exact optimum), so the cascade could
+// prune a candidate whose tracked answer would have entered the ranking;
+// the threshold then acts purely as a post-filter — the walk always runs,
+// and a completed result strictly beyond tau is suppressed, which is
+// exactly what the top-k heap would do. Either way rankings stay
+// byte-identical to an unpruned RLS scan.
+//
+// The per-query state mirrors splitThresholdSearch: the reversed query and
+// a suffix scratch reused across candidates (fed from the store's
+// precomputed reversals), plus one environment and one actor Rebind-ed at
+// each candidate, so the sequential scan path performs no per-candidate
+// allocation either.
 func (a RLS) NewThresholdSearch(q traj.Trajectory) ThresholdSearch {
-	return &rlsThresholdSearch{a: a, q: q}
+	s := &rlsThresholdSearch{}
+	_, useSuffix, simplify, ok := a.params()
+	if !ok || q.Len() == 0 {
+		return s // degenerate: every candidate reports an infinite distance
+	}
+	s.m = a.M
+	s.useSuffix = useSuffix
+	if useSuffix {
+		s.qRev = q.Reverse()
+	}
+	if !simplify {
+		s.lb = lbFor(a.M, q)
+	}
+	s.env = rl.NewScanEnv(a.M, q, rl.EnvConfig{UseSuffix: useSuffix, SimplifyState: simplify})
+	if a.Table != nil {
+		s.table = a.Table
+	} else {
+		s.actor = a.src().NewActor()
+	}
+	return s
 }
 
 type rlsThresholdSearch struct {
-	a RLS
-	q traj.Trajectory
+	m         sim.Measure
+	useSuffix bool
+	qRev      traj.Trajectory
+	lb        sim.SubtrajLB // non-nil only for full-state policies
+	env       *rl.SplitEnv
+	table     *rl.TablePolicy // serve from the fused table walk when set
+	actor     rl.Actor        // network actor otherwise
+	suf       []float64
 }
 
 func (s *rlsThresholdSearch) Search(t traj.Trajectory, meta TrajMeta, tau float64) (Result, Pruned) {
-	r := s.a.Search(t, s.q)
+	if lbPrunes(s.lb, t, meta, tau) {
+		return Result{}, PrunedLB
+	}
+	r := s.search(t, meta)
 	if r.Dist > tau {
 		return r, PrunedAbandon
 	}
 	return r, NotPruned
 }
 
-func (s *rlsThresholdSearch) Release() {}
+func (s *rlsThresholdSearch) search(t traj.Trajectory, meta TrajMeta) Result {
+	if s.env == nil || t.Len() == 0 {
+		return Result{Dist: math.Inf(1)}
+	}
+	var suf []float64
+	if s.useSuffix {
+		tr := meta.Rev
+		if tr.Len() != t.Len() {
+			tr = t.Reverse() // defensive: zero-value meta
+		}
+		s.suf = sim.SuffixDistsInto(s.suf, s.m, tr, s.qRev)
+		suf = s.suf
+	}
+	s.env.Rebind(t, suf)
+	if s.table != nil {
+		s.env.WalkTable(s.table)
+	} else {
+		walk(s.env, s.actor)
+	}
+	iv, d := s.env.Best()
+	return Result{Interval: iv, Dist: d, Explored: s.env.Explored(), Scanned: s.env.Scanned()}
+}
+
+func (s *rlsThresholdSearch) Release() {
+	if s.actor != nil {
+		s.actor.Release()
+	}
+}
 
 // SkippedFraction runs the policy over the pair and reports the fraction of
 // data points never scanned (Table 5's "Skip Pts" column). A nil policy or
-// an empty trajectory on either side skips nothing.
+// an empty trajectory on either side skips nothing. Serving paths record
+// the same count on Result.Scanned as a byproduct of the search walk;
+// this re-walk exists for callers holding only a (policy, pair).
 func SkippedFraction(m sim.Measure, p *rl.Policy, t, q traj.Trajectory) float64 {
-	if p == nil || p.Net == nil || t.Len() == 0 || q.Len() == 0 {
+	r := RLS{M: m, Policy: p}.Search(t, q)
+	return skippedFractionOf(r.Scanned, t.Len())
+}
+
+// skippedFractionOf converts a walk's scanned-point count into the skipped
+// fraction of an n-point trajectory; a zero count (non-walk result) or an
+// empty trajectory skips nothing.
+func skippedFractionOf(scanned, n int) float64 {
+	if scanned <= 0 || n <= 0 || scanned >= n {
 		return 0
 	}
-	env := rl.NewSplitEnv(m, t, q, rl.EnvConfig{
-		UseSuffix:     p.UseSuffix,
-		SimplifyState: p.SimplifyState,
-	})
-	scanned := 1 // the first point is always scanned
-	for !env.Done() {
-		before := env.Pos()
-		env.Step(p.Action(env.State()))
-		if !env.Done() && env.Pos() > before {
-			scanned++
-		}
-	}
-	skipped := t.Len() - scanned
-	if skipped < 0 {
-		skipped = 0
-	}
-	return float64(skipped) / float64(t.Len())
+	return float64(n-scanned) / float64(n)
 }

@@ -70,6 +70,12 @@ type Config struct {
 	// fraction serving metrics (see Stats). 0 disables sampling; each
 	// sample costs one ExactS scan over the query's candidates.
 	QualitySample float64
+	// BatchLanes is the lockstep width of batched per-shard scans for
+	// algorithms with a batched path (the learned searches): each shard
+	// worker feeds candidates into this many lanes and advances them with
+	// one batched policy inference per round (default 64). 1 forces the
+	// sequential scan; rankings are byte-identical either way.
+	BatchLanes int
 }
 
 func (c *Config) fill() {
@@ -78,6 +84,9 @@ func (c *Config) fill() {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchLanes <= 0 {
+		c.BatchLanes = 64
 	}
 }
 
@@ -167,14 +176,22 @@ type Stats struct {
 
 	// Learned-search serving state and sampled quality aggregates (see
 	// Config.QualitySample and sampleQuality for the exact definitions).
-	PolicyLoaded      bool    `json:"policy_loaded"`
-	PolicyName        string  `json:"policy_name,omitempty"`
-	PolicyFingerprint string  `json:"policy_fingerprint,omitempty"`
-	RLSQueries        int64   `json:"rls_queries"`
-	QualitySamples    int64   `json:"quality_samples"`
-	ApproxRatio       float64 `json:"approx_ratio"`
-	MeanRank          float64 `json:"mean_rank"`
-	SkippedFraction   float64 `json:"skipped_fraction"`
+	// The PolicyCompile* fields describe the compiled table policy when one
+	// is serving (SetPolicyCompiled): its grid resolution, the action-
+	// divergence rate measured at compile time, and the table's own content
+	// hash (the serving PolicyFingerprint folds it in).
+	PolicyLoaded              bool    `json:"policy_loaded"`
+	PolicyName                string  `json:"policy_name,omitempty"`
+	PolicyFingerprint         string  `json:"policy_fingerprint,omitempty"`
+	PolicyCompiled            bool    `json:"policy_compiled,omitempty"`
+	PolicyCompileResolution   int     `json:"policy_compile_resolution,omitempty"`
+	PolicyCompileDivergence   float64 `json:"policy_compile_divergence,omitempty"`
+	PolicyCompiledFingerprint string  `json:"policy_compiled_fingerprint,omitempty"`
+	RLSQueries                int64   `json:"rls_queries"`
+	QualitySamples            int64   `json:"quality_samples"`
+	ApproxRatio               float64 `json:"approx_ratio"`
+	MeanRank                  float64 `json:"mean_rank"`
+	SkippedFraction           float64 `json:"skipped_fraction"`
 }
 
 // shard is one partition of the store: a slice of trajectories (global IDs
@@ -215,12 +232,12 @@ func (s *shard) snapshot() *core.Database {
 	return s.db
 }
 
-func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *core.SharedKth, st *core.PruneStats) ([]Match, error) {
+func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *core.SharedKth, st *core.PruneStats, lanes int) ([]Match, error) {
 	db := s.snapshot()
 	if db == nil {
 		return nil, nil
 	}
-	local, err := db.TopKPrunedCtx(ctx, alg, q, k, filter, shared, st)
+	local, err := db.TopKPrunedBatchCtx(ctx, alg, q, k, filter, shared, st, lanes)
 	if err != nil {
 		return nil, err
 	}
@@ -624,7 +641,7 @@ func (e *Engine) scatter(ctx context.Context, alg core.Algorithm, q Query) ([]Ma
 				errs[i] = ctx.Err()
 				return
 			}
-			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K, q.Filter, shared, &stats[i])
+			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K, q.Filter, shared, &stats[i], e.cfg.BatchLanes)
 		}(i, s)
 	}
 	wg.Wait()
@@ -775,6 +792,10 @@ func (e *Engine) Stats() Stats {
 		st.PolicyLoaded = true
 		st.PolicyName = info.Name
 		st.PolicyFingerprint = info.Fingerprint
+		st.PolicyCompiled = info.Compiled
+		st.PolicyCompileResolution = info.CompileResolution
+		st.PolicyCompileDivergence = info.CompileDivergence
+		st.PolicyCompiledFingerprint = info.CompiledFingerprint
 	}
 	st.QualitySamples, st.ApproxRatio, st.MeanRank, st.SkippedFraction = e.quality.snapshot()
 	return st

@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -28,9 +29,18 @@ import (
 // swap, because its cache entry lands under the old fingerprint, which no
 // post-swap lookup can construct.
 
-// policyEntry pins one immutable (policy, fingerprint) pair.
+// policyEntry pins one immutable (policy, optional compiled table,
+// fingerprint) triple.
 type policyEntry struct {
-	p  *rl.Policy
+	p *rl.Policy
+	// table, when non-nil, serves the compiled table-lookup path
+	// (rl.Compile) for this policy; queries then take O(1) array lookups
+	// instead of network forward passes.
+	table *rl.TablePolicy
+	// fp is the serving fingerprint: the policy's content hash, folded
+	// with the table's own fingerprint when one is compiled — so swapping
+	// the policy, compiling a table, recompiling at another resolution and
+	// dropping the table each invalidate cached rankings.
 	fp uint64
 }
 
@@ -45,9 +55,22 @@ type PolicyInfo struct {
 	UseSuffix bool
 	// SimplifyState reports RLS-Skip's skipped-point state simplification.
 	SimplifyState bool
-	// Fingerprint is the hex form of the policy's content hash; it changes
-	// on every swap and is part of the result-cache key.
+	// Fingerprint is the hex form of the serving fingerprint (the policy's
+	// content hash, folded with the compiled table's when one is
+	// installed); it changes on every swap or recompile and is part of the
+	// result-cache key.
 	Fingerprint string
+	// Compiled reports whether a compiled table policy is serving actions;
+	// the remaining fields are meaningful only then.
+	Compiled bool
+	// CompileResolution is the table's per-dimension grid resolution.
+	CompileResolution int
+	// CompileDivergence is the action-divergence rate measured at compile
+	// time: the fraction of validation probes where the network's greedy
+	// action differs from the table's.
+	CompileDivergence float64
+	// CompiledFingerprint is the hex content hash of the table itself.
+	CompiledFingerprint string
 }
 
 // PolicyFingerprint content-hashes a policy (FNV-1a over its serialized
@@ -63,15 +86,33 @@ func PolicyFingerprint(p *rl.Policy) (uint64, error) {
 	return h.Sum64(), nil
 }
 
+// combinedFingerprint folds the base policy hash with the compiled table's
+// into the serving fingerprint.
+func combinedFingerprint(base, table uint64) uint64 {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], base)
+	binary.LittleEndian.PutUint64(b[8:], table)
+	h := fnv.New64a()
+	h.Write(b[:])
+	return h.Sum64()
+}
+
 // policyInfoFor derives the user-facing description of a registered entry.
 func policyInfoFor(ent *policyEntry) PolicyInfo {
-	return PolicyInfo{
-		Name:          core.RLS{Policy: ent.p}.Name(),
+	info := PolicyInfo{
+		Name:          core.RLS{Policy: ent.p, Table: ent.table}.Name(),
 		K:             ent.p.K,
 		UseSuffix:     ent.p.UseSuffix,
 		SimplifyState: ent.p.SimplifyState,
 		Fingerprint:   fmt.Sprintf("%016x", ent.fp),
 	}
+	if ent.table != nil {
+		info.Compiled = true
+		info.CompileResolution = ent.table.Resolution
+		info.CompileDivergence = ent.table.Divergence
+		info.CompiledFingerprint = fmt.Sprintf("%016x", ent.table.Fingerprint())
+	}
+	return info
 }
 
 // SetPolicy validates and registers a policy, making the "rls"/"rls-skip"
@@ -82,6 +123,18 @@ func policyInfoFor(ent *policyEntry) PolicyInfo {
 // registration untouched. Safe for concurrent use with in-flight queries:
 // each query pins the policy pointer it resolved.
 func (e *Engine) SetPolicy(p *rl.Policy) (PolicyInfo, error) {
+	return e.SetPolicyCompiled(p, 0)
+}
+
+// SetPolicyCompiled is SetPolicy with the compiled-table serving path
+// opted in: with resolution > 0 the policy's greedy surface is distilled
+// onto a resolution^dim table (rl.Compile) registered alongside it, so
+// "rls"/"rls-skip" queries take O(1) action lookups instead of network
+// forward passes. Compilation failures — resolution out of bounds, a grid
+// too large, an invalid policy — are typed invalid_argument errors leaving
+// the current registration untouched. resolution 0 registers the plain
+// network-serving policy.
+func (e *Engine) SetPolicyCompiled(p *rl.Policy, resolution int) (PolicyInfo, error) {
 	if p == nil {
 		return PolicyInfo{}, api.Errorf(api.CodeInvalidArgument, "nil policy")
 	}
@@ -93,6 +146,14 @@ func (e *Engine) SetPolicy(p *rl.Policy) (PolicyInfo, error) {
 		return PolicyInfo{}, api.Errorf(api.CodeInvalidArgument, "fingerprinting policy: %v", err)
 	}
 	ent := &policyEntry{p: p, fp: fp}
+	if resolution > 0 {
+		table, err := rl.Compile(p, resolution)
+		if err != nil {
+			return PolicyInfo{}, api.Errorf(api.CodeInvalidArgument, "compiling policy table: %v", err)
+		}
+		ent.table = table
+		ent.fp = combinedFingerprint(fp, table.Fingerprint())
+	}
 	e.policy.Store(ent)
 	e.cache.purge()
 	return policyInfoFor(ent), nil
@@ -145,7 +206,7 @@ func (e *Engine) resolveAlg(measure, algorithm string, p Params) (core.Algorithm
 		return nil, 0, api.Errorf(api.CodeInvalidArgument,
 			"algorithm \"rls-skip\" requested but the loaded policy has no skip actions; use \"rls\"")
 	}
-	return core.RLS{M: m, Policy: ent.p}, ent.fp, nil
+	return core.RLS{M: m, Policy: ent.p, Table: ent.table}, ent.fp, nil
 }
 
 // ResolveAlgorithm is the exported form of resolveAlg: the named measure

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randNet builds a small random MLP with the serving activation pair.
+func randNet(seed int64, in, hidden, out int) *MLP {
+	return NewMLP([]int{in, hidden, out}, []Activation{ReLU, Sigmoid}, rand.New(rand.NewSource(seed)))
+}
+
+func TestInferBatchBitIdenticalToInfer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range [][3]int{{2, 20, 2}, {3, 20, 5}, {4, 7, 3}, {1, 1, 1}} {
+		net := randNet(7, shape[0], shape[1], shape[2])
+		for _, b := range []int{1, 2, 3, 7, 64} {
+			xs := make([]float64, b*shape[0])
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			s := NewInferScratch()
+			got := net.InferBatch(s, xs, b)
+			for r := 0; r < b; r++ {
+				want := net.Infer(xs[r*shape[0] : (r+1)*shape[0]])
+				for j, w := range want {
+					// bit-identical, not approximately equal: the batched
+					// path must accumulate in the scalar path's order
+					if got[r*shape[2]+j] != w {
+						t.Fatalf("shape %v b=%d row %d out %d: batched %v != scalar %v",
+							shape, b, r, j, got[r*shape[2]+j], w)
+					}
+				}
+			}
+			s.Release()
+		}
+	}
+}
+
+func TestInferBatchArgmaxMatchesScalarArgmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := randNet(9, 3, 20, 5)
+	const b = 33
+	xs := make([]float64, b*3)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	s := NewInferScratch()
+	defer s.Release()
+	actions := make([]int, b)
+	net.InferBatchArgmax(s, xs, b, actions)
+	for r := 0; r < b; r++ {
+		q := net.Infer(xs[r*3 : (r+1)*3])
+		best, bi := q[0], 0
+		for j := 1; j < len(q); j++ {
+			if q[j] > best {
+				best, bi = q[j], j
+			}
+		}
+		if actions[r] != bi {
+			t.Fatalf("row %d: batched argmax %d != scalar argmax %d (q=%v)", r, actions[r], bi, q)
+		}
+	}
+}
+
+func TestInferBatchArgmaxTiesFirstMaxWins(t *testing.T) {
+	// a zero-weight network outputs identical values for every action; the
+	// argmax must pick index 0, matching the sequential first-max-wins rule
+	net := randNet(3, 2, 2, 4)
+	for _, l := range net.Layers {
+		for i := range l.W.W {
+			l.W.W[i] = 0
+		}
+		for i := range l.B.W {
+			l.B.W[i] = 0
+		}
+	}
+	s := NewInferScratch()
+	defer s.Release()
+	actions := make([]int, 2)
+	net.InferBatchArgmax(s, []float64{0.1, 0.2, 0.3, 0.4}, 2, actions)
+	for i, a := range actions {
+		if a != 0 {
+			t.Fatalf("row %d: tied outputs picked action %d, want 0", i, a)
+		}
+	}
+}
+
+func TestInferBatchZeroAlloc(t *testing.T) {
+	net := randNet(11, 3, 20, 5)
+	const b = 16
+	xs := make([]float64, b*3)
+	for i := range xs {
+		xs[i] = float64(i) / 7
+	}
+	actions := make([]int, b)
+	s := NewInferScratch()
+	defer s.Release()
+	net.InferBatchArgmax(s, xs, b, actions) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		net.InferBatchArgmax(s, xs, b, actions)
+	})
+	if allocs != 0 {
+		t.Fatalf("InferBatchArgmax allocates %v times per call after warmup, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		net.InferInto(s, xs[:3])
+	})
+	if allocs != 0 {
+		t.Fatalf("InferInto allocates %v times per call after warmup, want 0", allocs)
+	}
+}
+
+func TestInferIntoBitIdentical(t *testing.T) {
+	net := randNet(13, 2, 20, 3)
+	s := NewInferScratch()
+	defer s.Release()
+	x := []float64{0.25, 0.75}
+	got := net.InferInto(s, x)
+	want := net.Infer(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out %d: InferInto %v != Infer %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatMulTShapePanics(t *testing.T) {
+	net := randNet(17, 2, 3, 2)
+	w := net.Layers[0].W
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMulT with mismatched shapes did not panic")
+		}
+	}()
+	w.MatMulT(make([]float64, 3), 1, make([]float64, 3))
+}

@@ -1,0 +1,176 @@
+package rl
+
+import (
+	"simsub/internal/sim"
+	"simsub/internal/traj"
+)
+
+// This file is the cross-candidate lockstep batcher: the classic
+// inference-serving restructuring applied to the splitting MDP. A top-k
+// scan walks one MDP per candidate trajectory, and every walk queries the
+// same policy — so instead of routing each walk's tiny state vector through
+// a scalar forward pass (a mat-vec per scanned point, allocating per step),
+// the runner advances up to `width` walks simultaneously: it gathers their
+// states into one packed row-major matrix, takes a single batched forward
+// pass (one blocked mat-mat per layer with a fused argmax), scatters the
+// greedy actions back, steps every environment, and compacts finished
+// lanes out of the batch so a freed lane immediately takes the next
+// candidate.
+//
+// Correctness: a walk's action sequence depends only on its own state
+// trajectory, the Actor is deterministic per state row (batched inference
+// is bit-identical to scalar inference), and walks never interact — so
+// every walk produces exactly the interval, distance, explored and scanned
+// counts of a sequential SplitEnv walk, regardless of batch width or of
+// which candidates happen to share a batch.
+
+// Walk is one finished lockstep walk: the candidate's tag plus what the
+// equivalent sequential walk would have reported.
+type Walk struct {
+	// Tag is the caller-chosen candidate identifier passed to Add.
+	Tag int
+	// Best is the best interval the walk exposed; Dist its tracked
+	// distance.
+	Best traj.Interval
+	Dist float64
+	// Explored counts similarity evaluations, Scanned the points the
+	// prefix state advanced over — both identical to a sequential walk's.
+	Explored int
+	Scanned  int
+}
+
+// ActorSource mints per-scan Actors: implemented by *Policy (network
+// inference) and *TablePolicy (compiled lookup).
+type ActorSource interface {
+	NewActor() Actor
+	StateDim() int
+}
+
+// lane is one in-flight walk plus its reusable buffers.
+type lane struct {
+	env *SplitEnv
+	suf []float64
+	tag int
+}
+
+// BatchRunner advances many split-MDP walks in lockstep against one query.
+// It is single-goroutine and must be Released after the scan; a fresh
+// runner per (query, goroutine) is the intended shape, mirroring
+// ThresholdSearch.
+type BatchRunner struct {
+	m     sim.Measure
+	q     traj.Trajectory
+	qRev  traj.Trajectory
+	cfg   EnvConfig
+	actor Actor
+	width int
+	dim   int
+
+	lanes   []*lane
+	idle    []*lane
+	states  []float64
+	actions []int
+	out     []Walk
+}
+
+// NewBatchRunner builds a lockstep runner of the given width (clamped to at
+// least 1) for walks of src's policy against q. The reversed query is
+// derived once; per-candidate suffix state reuses stored reversals via Add.
+func NewBatchRunner(m sim.Measure, q traj.Trajectory, cfg EnvConfig, src ActorSource, width int) *BatchRunner {
+	if width < 1 {
+		width = 1
+	}
+	r := &BatchRunner{
+		m:       m,
+		q:       q,
+		cfg:     cfg,
+		actor:   src.NewActor(),
+		width:   width,
+		dim:     src.StateDim(),
+		states:  make([]float64, width*src.StateDim()),
+		actions: make([]int, width),
+	}
+	if cfg.UseSuffix {
+		r.qRev = q.Reverse()
+	}
+	return r
+}
+
+// Add starts a walk over the non-empty data trajectory t, tagged tag. rev,
+// when it matches t's length, is t's precomputed reversal (core.TrajMeta);
+// otherwise t is reversed here. If every lane is busy, lockstep rounds run
+// until at least one walk finishes. The returned walks (possibly none) are
+// valid until the next Add or Flush call.
+func (r *BatchRunner) Add(tag int, t, rev traj.Trajectory) []Walk {
+	r.out = r.out[:0]
+	for len(r.lanes) >= r.width {
+		r.round()
+	}
+	var ln *lane
+	if n := len(r.idle); n > 0 {
+		ln = r.idle[n-1]
+		r.idle = r.idle[:n-1]
+	} else {
+		ln = &lane{env: NewScanEnv(r.m, r.q, r.cfg)}
+	}
+	ln.tag = tag
+	var suf []float64
+	if r.cfg.UseSuffix {
+		tr := rev
+		if tr.Len() != t.Len() {
+			tr = t.Reverse() // defensive: zero-value meta
+		}
+		ln.suf = sim.SuffixDistsInto(ln.suf, r.m, tr, r.qRev)
+		suf = ln.suf
+	}
+	ln.env.Rebind(t, suf)
+	r.lanes = append(r.lanes, ln)
+	return r.out
+}
+
+// Flush runs every in-flight walk to completion and returns them; the
+// returned slice is valid until the next Add or Flush call.
+func (r *BatchRunner) Flush() []Walk {
+	r.out = r.out[:0]
+	for len(r.lanes) > 0 {
+		r.round()
+	}
+	return r.out
+}
+
+// Pending returns the number of in-flight walks.
+func (r *BatchRunner) Pending() int { return len(r.lanes) }
+
+// Release returns the runner's actor scratch to its pool; the runner is
+// unusable afterwards.
+func (r *BatchRunner) Release() { r.actor.Release() }
+
+// round advances every active lane by one action: gather states, one
+// batched greedy evaluation, scatter and step, then compact finished lanes
+// (appending their walks to r.out) so the batch stays dense.
+func (r *BatchRunner) round() {
+	b := len(r.lanes)
+	for i, ln := range r.lanes {
+		ln.env.StateInto(r.states[i*r.dim : (i+1)*r.dim])
+	}
+	r.actor.Actions(r.states[:b*r.dim], b, r.actions[:b])
+	w := 0
+	for i, ln := range r.lanes {
+		ln.env.Step(r.actions[i])
+		if ln.env.Done() {
+			iv, d := ln.env.Best()
+			r.out = append(r.out, Walk{
+				Tag:      ln.tag,
+				Best:     iv,
+				Dist:     d,
+				Explored: ln.env.Explored(),
+				Scanned:  ln.env.Scanned(),
+			})
+			r.idle = append(r.idle, ln)
+		} else {
+			r.lanes[w] = ln
+			w++
+		}
+	}
+	r.lanes = r.lanes[:w]
+}

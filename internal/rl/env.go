@@ -43,6 +43,7 @@ type SplitEnv struct {
 	dBest    float64
 	best     traj.Interval
 	explored int
+	scanned  int // points whose prefix state was advanced (never skipped)
 }
 
 // EnvConfig configures a SplitEnv.
@@ -73,15 +74,49 @@ func (e *SplitEnv) Reset() {
 	e.dBest = math.Inf(1)
 	e.best = traj.Interval{}
 	e.explored = 0
+	e.scanned = 0
 	if e.useSuffix {
 		if e.suf == nil {
 			e.suf = sim.SuffixDists(e.m, e.t, e.q)
 			e.explored += e.t.Len()
 		}
 	}
-	e.stream = sim.NewStream(e.m, e.q)
+	if e.stream == nil {
+		e.stream = sim.NewStream(e.m, e.q)
+	} else {
+		e.stream.Reset()
+	}
 	e.dPre = e.stream.Push(e.t.Pt(0))
 	e.explored++
+	e.scanned++
+}
+
+// NewScanEnv builds an environment bound to a measure and query but no data
+// trajectory yet: the reusable form for scan loops, which Rebind it at each
+// candidate instead of allocating a fresh environment (and prefix stream)
+// per trajectory. The environment is unusable until the first Rebind.
+func NewScanEnv(m sim.Measure, q traj.Trajectory, cfg EnvConfig) *SplitEnv {
+	return &SplitEnv{
+		m: m, q: q,
+		useSuffix:     cfg.UseSuffix,
+		simplifyState: cfg.SimplifyState,
+	}
+}
+
+// Rebind retargets the environment at a new data trajectory against the
+// same measure and query, reusing the prefix stream and, with suf == nil,
+// rederiving suffix distances in place. A non-nil suf supplies them
+// precomputed (len == t.Len(), e.g. via sim.SuffixDistsInto over a stored
+// reversal); either way Explored accounts for them exactly as a fresh
+// NewSplitEnv would, so results stay comparable across the two paths. The
+// caller keeps ownership of suf until the next Rebind or Reset.
+func (e *SplitEnv) Rebind(t traj.Trajectory, suf []float64) {
+	e.t = t
+	e.suf = suf
+	e.Reset()
+	if e.useSuffix && suf != nil {
+		e.explored += t.Len()
+	}
 }
 
 // StateDim returns the state vector width: 3 with the suffix component,
@@ -98,12 +133,21 @@ func StateDim(useSuffix bool) int {
 
 // State returns the current state vector (Θbest, Θpre[, Θsuf]).
 func (e *SplitEnv) State() []float64 {
-	s := make([]float64, 0, 3)
-	s = append(s, bestSim(e.dBest), sim.Sim(e.dPre))
+	return e.StateInto(make([]float64, e.StateDim()))
+}
+
+// StateInto writes the current state vector (Θbest, Θpre[, Θsuf]) into dst,
+// which must hold at least StateDim values, and returns dst truncated to
+// the state width. It is the zero-allocation form of State for the serving
+// hot path, where a state is produced per scanned point.
+func (e *SplitEnv) StateInto(dst []float64) []float64 {
+	dst = dst[:e.StateDim()]
+	dst[0] = bestSim(e.dBest)
+	dst[1] = sim.Sim(e.dPre)
 	if e.useSuffix {
-		s = append(s, sim.Sim(e.suf[e.pos]))
+		dst[2] = sim.Sim(e.suf[e.pos])
 	}
-	return s
+	return dst
 }
 
 // bestSim maps the best distance to Θbest, with the paper's initial value 0
@@ -130,15 +174,31 @@ func (e *SplitEnv) Explored() int { return e.explored }
 // Pos returns the index of the point currently scanned.
 func (e *SplitEnv) Pos() int { return e.pos }
 
+// Scanned returns the number of data points whose prefix state the walk
+// advanced — the complement of the points a skip policy jumped over (the
+// paper's "Skip Pts" accounting, Table 5). Intermediate points streamed to
+// maintain unsimplified state do not count: they were examined, but the
+// policy never acted on them, matching SkippedFraction's historical
+// definition.
+func (e *SplitEnv) Scanned() int { return e.scanned }
+
 // Step applies an action at the current point and advances the scan,
 // returning the reward (the increase of Θbest, §5.1). Action semantics:
 // 0 = no split, 1 = split at the current point, 1+j = skip j points.
 // Calling Step after the episode is done panics.
 func (e *SplitEnv) Step(action int) float64 {
+	prevBest := bestSim(e.dBest)
+	e.advance(action)
+	return bestSim(e.dBest) - prevBest
+}
+
+// advance is Step without the reward computation: the serving paths take
+// greedy actions and never read rewards, so they skip the two extra Θbest
+// conversions per scanned point that training needs.
+func (e *SplitEnv) advance(action int) {
 	if e.done {
 		panic("rl: Step on finished episode")
 	}
-	prevBest := bestSim(e.dBest)
 	n := e.t.Len()
 
 	// candidate subtrajectories visible in the current state (line 14 of
@@ -166,7 +226,7 @@ func (e *SplitEnv) Step(action int) float64 {
 	if next > n-1 {
 		if e.pos+1 > n-1 {
 			e.done = true
-			return bestSim(e.dBest) - prevBest
+			return
 		}
 		next = n - 1 // a skip never jumps past the final point unscanned
 	}
@@ -194,8 +254,72 @@ func (e *SplitEnv) Step(action int) float64 {
 	}
 	e.dPre = e.stream.Push(e.t.Pt(next))
 	e.explored++
+	e.scanned++
 	e.pos = next
-	return bestSim(e.dBest) - prevBest
+}
+
+// WalkTable drives the episode to completion with greedy actions served
+// from the compiled table, fused into one loop: the state components are
+// quantized straight into the table's grid (the same cell mapping
+// TablePolicy.Action applies, so the action sequence is identical to
+// walking a tableActor) with no per-step actor dispatch and no reward
+// bookkeeping. The Θbest cell is recomputed only when the best distance
+// improves, which it does at most a handful of times per episode. This is
+// the serving fast path for table-backed searches — a table has no
+// inference worth batching, so the fused sequential walk is how both the
+// one-shot and the scan paths run it.
+func (e *SplitEnv) WalkTable(tb *TablePolicy) {
+	res := tb.Resolution
+	n := e.t.Len()
+	dPrev := math.NaN() // != any distance, so the first step computes the cell
+	c0 := 0
+	if e.useSuffix {
+		for !e.done {
+			if e.dBest != dPrev {
+				dPrev = e.dBest
+				c0 = tb.cell(bestSim(dPrev)) * res
+			}
+			idx := (c0+tb.cell(sim.Sim(e.dPre)))*res + tb.cell(sim.Sim(e.suf[e.pos]))
+			if a := int(tb.Actions[idx]); a != 0 || e.pos+1 >= n {
+				e.advance(a)
+				continue
+			}
+			// no-split mid-scan, by far the most frequent step: advance's
+			// action-0 path inlined (record the visible candidates, push
+			// the next point)
+			if e.dPre < e.dBest {
+				e.dBest = e.dPre
+				e.best = traj.Interval{I: e.h, J: e.pos}
+			}
+			if e.suf[e.pos] < e.dBest {
+				e.dBest = e.suf[e.pos]
+				e.best = traj.Interval{I: e.pos, J: n - 1}
+			}
+			e.pos++
+			e.dPre = e.stream.Push(e.t.Pt(e.pos))
+			e.explored++
+			e.scanned++
+		}
+		return
+	}
+	for !e.done {
+		if e.dBest != dPrev {
+			dPrev = e.dBest
+			c0 = tb.cell(bestSim(dPrev)) * res
+		}
+		if a := int(tb.Actions[c0+tb.cell(sim.Sim(e.dPre))]); a != 0 || e.pos+1 >= n {
+			e.advance(a)
+			continue
+		}
+		if e.dPre < e.dBest {
+			e.dBest = e.dPre
+			e.best = traj.Interval{I: e.h, J: e.pos}
+		}
+		e.pos++
+		e.dPre = e.stream.Push(e.t.Pt(e.pos))
+		e.explored++
+		e.scanned++
+	}
 }
 
 // FinishGreedy consumes the rest of the episode taking "no split" actions;

@@ -172,6 +172,10 @@ func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
 				agg.PolicyLoaded = true
 				agg.PolicyName = e.PolicyName
 				agg.PolicyFingerprint = e.PolicyFingerprint
+				agg.PolicyCompiled = e.PolicyCompiled
+				agg.PolicyCompileResolution = e.PolicyCompileResolution
+				agg.PolicyCompileDivergence = e.PolicyCompileDivergence
+				agg.PolicyCompiledFingerprint = e.PolicyCompiledFingerprint
 			}
 			if measures == nil {
 				measures = st.Measures

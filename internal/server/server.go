@@ -437,26 +437,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.eng.Stats()
 	writeJSON(w, http.StatusOK, api.StatsResponse{
 		Engine: api.Stats{
-			Trajectories:      es.Trajectories,
-			Points:            es.Points,
-			Shards:            es.Shards,
-			Workers:           es.Workers,
-			Queries:           es.Queries,
-			CacheHits:         es.CacheHits,
-			CacheMisses:       es.CacheMisses,
-			CacheEntries:      es.CacheEntries,
-			InFlight:          es.InFlight,
-			CandidatesSeen:    es.CandidatesSeen,
-			LBSkipped:         es.LBSkipped,
-			EarlyAbandoned:    es.EarlyAbandoned,
-			PolicyLoaded:      es.PolicyLoaded,
-			PolicyName:        es.PolicyName,
-			PolicyFingerprint: es.PolicyFingerprint,
-			RLSQueries:        es.RLSQueries,
-			QualitySamples:    es.QualitySamples,
-			ApproxRatio:       es.ApproxRatio,
-			MeanRank:          es.MeanRank,
-			SkippedFraction:   es.SkippedFraction,
+			Trajectories:              es.Trajectories,
+			Points:                    es.Points,
+			Shards:                    es.Shards,
+			Workers:                   es.Workers,
+			Queries:                   es.Queries,
+			CacheHits:                 es.CacheHits,
+			CacheMisses:               es.CacheMisses,
+			CacheEntries:              es.CacheEntries,
+			InFlight:                  es.InFlight,
+			CandidatesSeen:            es.CandidatesSeen,
+			LBSkipped:                 es.LBSkipped,
+			EarlyAbandoned:            es.EarlyAbandoned,
+			PolicyLoaded:              es.PolicyLoaded,
+			PolicyName:                es.PolicyName,
+			PolicyFingerprint:         es.PolicyFingerprint,
+			PolicyCompiled:            es.PolicyCompiled,
+			PolicyCompileResolution:   es.PolicyCompileResolution,
+			PolicyCompileDivergence:   es.PolicyCompileDivergence,
+			PolicyCompiledFingerprint: es.PolicyCompiledFingerprint,
+			RLSQueries:                es.RLSQueries,
+			QualitySamples:            es.QualitySamples,
+			ApproxRatio:               es.ApproxRatio,
+			MeanRank:                  es.MeanRank,
+			SkippedFraction:           es.SkippedFraction,
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),

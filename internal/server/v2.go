@@ -123,11 +123,15 @@ func (s *Server) handleGetTrajectory(w http.ResponseWriter, r *http.Request) {
 // policyInfoToAPI converts the engine's policy description to wire form.
 func policyInfoToAPI(info engine.PolicyInfo) api.PolicyInfo {
 	return api.PolicyInfo{
-		Name:          info.Name,
-		K:             info.K,
-		UseSuffix:     info.UseSuffix,
-		SimplifyState: info.SimplifyState,
-		Fingerprint:   info.Fingerprint,
+		Name:                info.Name,
+		K:                   info.K,
+		UseSuffix:           info.UseSuffix,
+		SimplifyState:       info.SimplifyState,
+		Fingerprint:         info.Fingerprint,
+		Compiled:            info.Compiled,
+		CompileResolution:   info.CompileResolution,
+		CompileDivergence:   info.CompileDivergence,
+		CompiledFingerprint: info.CompiledFingerprint,
 	}
 }
 
@@ -146,6 +150,10 @@ func (s *Server) handlePolicySwap(w http.ResponseWriter, r *http.Request) {
 	}
 	if (req.Path == "") == (req.PolicyB64 == "") {
 		writeErr(w, api.Errorf(api.CodeInvalidArgument, "exactly one of path or policy_b64 must be set"))
+		return
+	}
+	if req.CompileResolution < 0 {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "compile_resolution must be non-negative, got %d", req.CompileResolution))
 		return
 	}
 	var (
@@ -186,7 +194,7 @@ func (s *Server) handlePolicySwap(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	info, serr := s.eng.SetPolicy(p)
+	info, serr := s.eng.SetPolicyCompiled(p, req.CompileResolution)
 	if serr != nil {
 		writeErr(w, api.FromError(serr))
 		return
