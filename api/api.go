@@ -104,6 +104,16 @@ type QuerySpec struct {
 	// non-negative.
 	Bound *float64 `json:"bound,omitempty"`
 
+	// AllowDegraded opts this spec into graceful degradation: when the
+	// server cannot run the requested algorithm within the spec's deadline
+	// budget, or is shedding its cost class under overload, it may answer
+	// with a cheaper algorithm (ExactS falls back to PSS, then to the
+	// compiled learned policy when one is serving) instead of rejecting.
+	// A degraded answer is always explicitly marked (QueryResult.Degraded /
+	// StreamSummary.Degraded); without this opt-in the server never
+	// substitutes algorithms.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
+
 	// Filter, when set, restricts the search to trajectories whose MBR
 	// intersects it; the restriction is pushed down to the per-shard
 	// indexes.
@@ -163,8 +173,37 @@ type QueryResult struct {
 	// ranking over the reachable portion of the corpus rather than an
 	// error. Single-node servers never set it.
 	Partial *Partial `json:"partial,omitempty"`
+	// Degraded reports that the server substituted a cheaper algorithm
+	// for the requested one. Set only when the spec opted in via
+	// AllowDegraded; never on an exact answer.
+	Degraded *Degraded `json:"degraded,omitempty"`
 	// TookMS is the spec's wall-clock search time.
 	TookMS float64 `json:"took_ms"`
+}
+
+// Degradation reasons (Degraded.Reason).
+const (
+	// DegradedBudget: the requested algorithm could not finish within the
+	// spec's remaining deadline budget.
+	DegradedBudget = "budget"
+	// DegradedOverload: admission control was shedding the requested
+	// algorithm's cost class.
+	DegradedOverload = "overload"
+)
+
+// Degraded is the typed marker of a gracefully degraded answer: the server
+// ran a cheaper algorithm than requested because the spec opted in
+// (QuerySpec.AllowDegraded) and the requested one would have been rejected.
+// The ranking is the substitute algorithm's honest answer — exact for PSS,
+// approximate for a learned policy — never a silently truncated one.
+type Degraded struct {
+	// Reason says why the server degraded (DegradedBudget,
+	// DegradedOverload).
+	Reason string `json:"reason"`
+	// From is the requested algorithm.
+	From string `json:"from"`
+	// To is the algorithm that actually answered.
+	To string `json:"to"`
 }
 
 // Partial is the typed degradation summary of a scatter-gather answer: the
@@ -221,7 +260,10 @@ type StreamSummary struct {
 	// Partial reports coordinator-level degradation (see
 	// QueryResult.Partial); single-node servers never set it.
 	Partial *Partial `json:"partial,omitempty"`
-	TookMS  float64  `json:"took_ms"`
+	// Degraded reports algorithm substitution (see QueryResult.Degraded);
+	// set only when the spec opted in via AllowDegraded.
+	Degraded *Degraded `json:"degraded,omitempty"`
+	TookMS   float64   `json:"took_ms"`
 }
 
 // LoadRequest is the body of POST /v1/trajectories.
@@ -334,6 +376,23 @@ type Stats struct {
 	ApproxRatio     float64 `json:"approx_ratio"`
 	MeanRank        float64 `json:"mean_rank"`
 	SkippedFraction float64 `json:"skipped_fraction"`
+
+	// Overload-resilience counters: queries rejected by adaptive admission
+	// control (Shed, of which ShedExpensive were unbounded exact scans or
+	// stream loads — the classes shed first), queries rejected early
+	// because their deadline budget could not cover the predicted scan
+	// (DeadlineRejects), and queries answered by a cheaper algorithm under
+	// the AllowDegraded opt-in (DegradedQueries). QueueDepth and
+	// QueueWaitMS describe the admission queue right now (current waiters,
+	// smoothed queue wait); Shedding reports whether admission is currently
+	// in its shedding state.
+	Shed            int64   `json:"shed"`
+	ShedExpensive   int64   `json:"shed_expensive"`
+	DeadlineRejects int64   `json:"deadline_rejects"`
+	DegradedQueries int64   `json:"degraded_queries"`
+	QueueDepth      int64   `json:"queue_depth"`
+	QueueWaitMS     float64 `json:"queue_wait_ms"`
+	Shedding        bool    `json:"shedding,omitempty"`
 }
 
 // PolicySwapRequest is the body of POST /v2/admin/policy: exactly one of
@@ -408,6 +467,10 @@ type RouterStats struct {
 	// BoundsPropagated counts scatter waves that shipped a running
 	// k-th-best bound to remote shards.
 	BoundsPropagated int64 `json:"bounds_propagated"`
+	// DeadlineRejects counts requests the router rejected before any
+	// scatter because their remaining deadline budget was already inside
+	// the router's merge reserve.
+	DeadlineRejects int64 `json:"deadline_rejects"`
 	// Nodes holds one entry per backend node, in configuration order.
 	Nodes []NodeStats `json:"nodes"`
 }
@@ -438,6 +501,42 @@ type NodeStats struct {
 	// The router fails over instead of scatter-gathering against a node
 	// still replaying its log.
 	State string `json:"state,omitempty"`
+	// Breaker is the node's circuit-breaker state as seen by the router:
+	// "closed" (healthy), "open" (ejected after consecutive failures — the
+	// router skips it until the cooldown expires) or "half-open" (one
+	// probe in flight deciding whether to close again).
+	Breaker string `json:"breaker,omitempty"`
+	// BreakerOpens counts how many times the node's breaker has tripped
+	// open.
+	BreakerOpens int64 `json:"breaker_opens"`
+}
+
+// FailpointInfo is one armed fault-injection site, as listed by
+// GET /v2/admin/failpoints.
+type FailpointInfo struct {
+	// Name is the fault site (e.g. "storage/append", "router/transport").
+	Name string `json:"name"`
+	// Spec is the armed spec in the failpoint grammar (e.g.
+	// "3*sleep(50ms)", "error(disk gone)").
+	Spec string `json:"spec"`
+	// Hits counts evaluations that triggered the fault so far.
+	Hits int `json:"hits"`
+}
+
+// FailpointsRequest is the body of POST /v2/admin/failpoints: set Name and
+// Spec to arm (or, with spec "off", disarm) one site, or ClearAll to
+// disarm everything. The endpoint only exists on servers started with
+// fault injection explicitly enabled.
+type FailpointsRequest struct {
+	Name     string `json:"name,omitempty"`
+	Spec     string `json:"spec,omitempty"`
+	ClearAll bool   `json:"clear_all,omitempty"`
+}
+
+// FailpointsResponse answers GET and POST /v2/admin/failpoints with every
+// currently armed site.
+type FailpointsResponse struct {
+	Failpoints []FailpointInfo `json:"failpoints"`
 }
 
 // Searcher answers batched v2 queries. Both the in-process *engine.Engine

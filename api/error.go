@@ -23,6 +23,13 @@ const (
 	CodeNotFound Code = "not_found"
 	// CodeTimeout: the search exceeded its deadline.
 	CodeTimeout Code = "timeout"
+	// CodeDeadlineExceeded: the server predicted the request cannot finish
+	// within its remaining deadline budget (including the reserve held back
+	// for merging and serialization) and rejected it EARLY, before it could
+	// burn a worker slot only to time out. Unlike CodeTimeout no work was
+	// wasted; the caller should retry with a larger budget, or opt into
+	// degraded answers (QuerySpec.AllowDegraded).
+	CodeDeadlineExceeded Code = "deadline_exceeded"
 	// CodeCanceled: the caller went away before the search finished.
 	CodeCanceled Code = "canceled"
 	// CodeOverloaded: the server refused the work because a capacity bound
@@ -40,6 +47,11 @@ const (
 type Error struct {
 	Code    Code   `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterMS, set on overloaded errors, is the server's estimate of
+	// when retrying is worth it, derived from its observed queue drain
+	// rate. HTTP layers mirror it as a Retry-After header; client.WithRetry
+	// honors it (capped against the caller's context deadline).
+	RetryAfterMS int `json:"retry_after_ms,omitempty"`
 }
 
 // Error implements the error interface.
@@ -79,7 +91,7 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusBadRequest
 	case CodeNotFound:
 		return http.StatusNotFound
-	case CodeTimeout:
+	case CodeTimeout, CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
 	case CodeCanceled:
 		return 499

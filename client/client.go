@@ -106,10 +106,14 @@ func (p RetryPolicy) backoff(a int) time.Duration {
 
 // WithRetry enables retries for idempotent requests (queries, reads, policy
 // swaps — never bulk loads, which are not idempotent) on 503 overloaded
-// responses and transient network errors. Backoff honors the request
-// context: an expired deadline ends the attempts immediately with the last
-// error. Streaming queries retry only until the first byte of the response
-// arrives; a stream severed mid-flight is returned as its error.
+// responses and transient network errors. A 503 carrying the server's
+// Retry-After hint (api.Error.RetryAfterMS, derived from the observed
+// queue drain rate) overrides the exponential schedule: the client sleeps
+// the hinted duration plus jitter instead of its own guess. Backoff honors
+// the request context: an expired deadline ends the attempts immediately
+// with the last error, and a hinted wait that would outlive the deadline
+// is not begun. Streaming queries retry only until the first byte of the
+// response arrives; a stream severed mid-flight is returned as its error.
 func WithRetry(p RetryPolicy) Option {
 	filled := p.fill()
 	return func(c *Client) { c.retry = &filled }
@@ -145,7 +149,18 @@ func (c *Client) withRetries(ctx context.Context, idempotent bool, fn func() err
 			if c.retry.OnRetry != nil {
 				c.retry.OnRetry(err)
 			}
-			t := time.NewTimer(c.retry.backoff(a))
+			d := c.retry.backoff(a)
+			var ae *api.Error
+			if errors.As(err, &ae) && ae.RetryAfterMS > 0 {
+				// the server's drain-rate hint beats the exponential guess;
+				// keep jitter (up to +25%) so hinted clients still spread out
+				hint := time.Duration(ae.RetryAfterMS) * time.Millisecond
+				d = hint + time.Duration(rand.Int63n(int64(hint)/4+1))
+			}
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+				return err // the wait would outlive the caller's deadline
+			}
+			t := time.NewTimer(d)
 			select {
 			case <-t.C:
 			case <-ctx.Done():

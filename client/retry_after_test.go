@@ -1,0 +1,110 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simsub/api"
+	"simsub/client"
+	"simsub/internal/engine"
+	"simsub/internal/server"
+)
+
+// hintedFront rejects the first fail query attempts with a 503 carrying an
+// explicit Retry-After hint, the drain-rate-derived backoff a shedding
+// node computes.
+type hintedFront struct {
+	inner   http.Handler
+	hintMS  int
+	fail    int32
+	rejects atomic.Int32
+}
+
+func (f *hintedFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v2/query" && f.rejects.Add(1) <= f.fail {
+		ae := *api.Errorf(api.CodeOverloaded, "shedding load")
+		ae.RetryAfterMS = f.hintMS
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(api.ErrorResponse{Err: ae})
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func newHintedClient(t *testing.T, hintMS int, fail int32, opts ...client.Option) *client.Client {
+	t.Helper()
+	eng := engine.New(engine.Config{Shards: 2, Index: engine.ScanAll})
+	rng := rand.New(rand.NewSource(95))
+	front := &hintedFront{inner: server.New(eng, server.Options{}), hintMS: hintMS, fail: fail}
+	srv := httptest.NewServer(front)
+	t.Cleanup(srv.Close)
+	c := client.New(srv.URL, opts...)
+	var ts []api.Trajectory
+	for i := 0; i < 20; i++ {
+		ts = append(ts, api.FromTraj(randWalk(rng, 8)))
+	}
+	if _, err := c.Load(context.Background(), ts); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return c
+}
+
+// TestClientHonorsRetryAfterHint: a 503 with retry_after_ms overrides the
+// client's own (tiny) backoff — the retry waits at least the hinted
+// duration before hitting the server again.
+func TestClientHonorsRetryAfterHint(t *testing.T) {
+	const hintMS = 150
+	c := newHintedClient(t, hintMS, 1, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+	}))
+	start := time.Now()
+	_, err := c.Query(context.Background(), api.Query{Specs: []api.QuerySpec{
+		{Query: api.FromTraj(randWalk(rand.New(rand.NewSource(96)), 5)), K: 3},
+	}})
+	took := time.Since(start)
+	if err != nil {
+		t.Fatalf("query after hinted 503: %v", err)
+	}
+	if took < hintMS*time.Millisecond {
+		t.Fatalf("retry fired after %v, before the server's %dms hint", took, hintMS)
+	}
+	// hint plus at most 25% desynchronization jitter (and some slack)
+	if took > 3*hintMS*time.Millisecond {
+		t.Fatalf("retry waited %v for a %dms hint", took, hintMS)
+	}
+}
+
+// TestClientRetryAfterCappedByDeadline: when the hinted wait cannot fit in
+// the caller's remaining deadline, the client surfaces the overload error
+// immediately instead of sleeping into a guaranteed context failure.
+func TestClientRetryAfterCappedByDeadline(t *testing.T) {
+	c := newHintedClient(t, 10_000, 1<<30, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, api.Query{Specs: []api.QuerySpec{
+		{Query: api.FromTraj(randWalk(rand.New(rand.NewSource(97)), 5)), K: 3},
+	}})
+	took := time.Since(start)
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeOverloaded {
+		t.Fatalf("got %v, want the overloaded error back", err)
+	}
+	if took > 150*time.Millisecond {
+		t.Fatalf("client slept %v toward a 10s hint inside a 200ms deadline", took)
+	}
+}

@@ -30,11 +30,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"simsub/api"
 	"simsub/internal/engine"
+	"simsub/internal/failpoint"
 	"simsub/internal/rl"
 	"simsub/internal/server"
 	"simsub/internal/storage"
@@ -58,8 +60,15 @@ func main() {
 		policyRes  = flag.Int("policy-compile", 0, "compile the -policy network onto a dense action table at this grid resolution (0 = serve the network directly)")
 		batchLanes = flag.Int("batch-lanes", 0, "lockstep lanes per shard scan for the learned searches (0 = default 64, 1 = sequential)")
 		qualitySam = flag.Float64("quality-sample", 0, "fraction of learned-search queries re-scored against the exact ranking for serving-quality stats")
+		failpoints = flag.Bool("failpoints", false, "expose /v2/admin/failpoints for runtime fault injection (chaos testing only)")
 	)
 	flag.Parse()
+
+	if armed, err := failpoint.EnableFromEnv(); err != nil {
+		log.Fatalf("parsing %s: %v", failpoint.EnvVar, err)
+	} else if len(armed) > 0 {
+		log.Printf("failpoints armed from %s: %s", failpoint.EnvVar, strings.Join(armed, ", "))
+	}
 
 	var kind engine.IndexKind
 	switch *indexName {
@@ -102,7 +111,7 @@ func main() {
 		}
 	}
 
-	handler := server.New(eng, server.Options{MaxTimeout: *timeout})
+	handler := server.New(eng, server.Options{MaxTimeout: *timeout, EnableFailpoints: *failpoints})
 
 	if *dataDir == "" {
 		if *dataPath != "" {
@@ -169,6 +178,13 @@ func main() {
 	log.Print("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	// Stop admitting bulk loads and wait out the in-flight ones BEFORE the
+	// HTTP drain: Shutdown abandons requests still running at its timeout,
+	// and the final snapshot+fsync below must never race an abandoned
+	// streaming load's batched commit.
+	if err := handler.Drain(shutdownCtx); err != nil {
+		log.Printf("draining loads: %v", err)
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
 	}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"simsub/client"
+	"simsub/internal/failpoint"
 	"simsub/internal/router"
 )
 
@@ -53,8 +54,15 @@ func main() {
 		retries     = flag.Int("retries", 3, "per-node request attempts (backoff on overload and transient network errors)")
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request fan-out timeout cap")
 		nodeTimeout = flag.Duration("node-timeout", 15*time.Second, "per-node attempt timeout")
+		failpoints  = flag.Bool("failpoints", false, "expose /v2/admin/failpoints for runtime fault injection (chaos testing only)")
 	)
 	flag.Parse()
+
+	if armed, err := failpoint.EnableFromEnv(); err != nil {
+		log.Fatalf("parsing %s: %v", failpoint.EnvVar, err)
+	} else if len(armed) > 0 {
+		log.Printf("failpoints armed from %s: %s", failpoint.EnvVar, strings.Join(armed, ", "))
+	}
 
 	var bases []string
 	for _, n := range strings.Split(*nodes, ",") {
@@ -83,7 +91,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           router.NewHandler(rt, router.HandlerOptions{MaxTimeout: *timeout}),
+		Handler:           router.NewHandler(rt, router.HandlerOptions{MaxTimeout: *timeout, EnableFailpoints: *failpoints}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,15 @@
+// Package chaos holds the fault-injection test suite: an in-process
+// router-plus-shard-nodes fleet driven under armed failpoints (transport
+// errors, dropped connections, slow scans, disk faults) to prove the
+// system's overload and resilience story end to end — bounded tail
+// latency, typed-only failures, no stuck admission slots, and
+// byte-identical rankings once the faults clear.
+//
+// The suite lives entirely in _test files; this package intentionally
+// exports nothing. Every component shares the process-global failpoint
+// registry (internal/failpoint), so arming a site here affects the router,
+// the shard servers, their engines and their stores alike — which is
+// exactly what the chaos tests want. Run it with the race detector:
+//
+//	go test -race ./internal/chaos/
+package chaos

@@ -18,11 +18,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"slices"
 
 	"simsub/api"
 	"simsub/internal/core"
+	"simsub/internal/failpoint"
 	"simsub/internal/geo"
 	"simsub/internal/sim"
 	"simsub/internal/storage"
@@ -76,6 +78,24 @@ type Config struct {
 	// one batched policy inference per round (default 64). 1 forces the
 	// sequential scan; rankings are byte-identical either way.
 	BatchLanes int
+	// QuerySlots bounds concurrently admitted queries (default Workers).
+	// Queries beyond it wait in the admission queue; see admission.go.
+	QuerySlots int
+	// QueueLimit bounds queries waiting for admission (default
+	// 8×QuerySlots with a floor of 64, so a small-core box still absorbs
+	// ordinary bursts). A full queue rejects every class with overloaded.
+	QueueLimit int
+	// QueueTarget is the CoDel target queue wait (default 5ms): when the
+	// minimum observed wait stays above it for a whole QueueInterval, the
+	// admitter starts shedding expensive-class queries.
+	QueueTarget time.Duration
+	// QueueInterval is the CoDel control interval (default 100ms).
+	QueueInterval time.Duration
+	// MergeReserve is the slice of a request's deadline budget held back
+	// for merging and serialization (default 10ms): a query whose
+	// predicted scan time exceeds the remaining budget minus this reserve
+	// is rejected early with deadline_exceeded.
+	MergeReserve time.Duration
 }
 
 func (c *Config) fill() {
@@ -87,6 +107,23 @@ func (c *Config) fill() {
 	}
 	if c.BatchLanes <= 0 {
 		c.BatchLanes = 64
+	}
+	if c.QuerySlots <= 0 {
+		c.QuerySlots = c.Workers
+	}
+	if c.QueueLimit <= 0 {
+		if c.QueueLimit = 8 * c.QuerySlots; c.QueueLimit < 64 {
+			c.QueueLimit = 64
+		}
+	}
+	if c.QueueTarget <= 0 {
+		c.QueueTarget = 5 * time.Millisecond
+	}
+	if c.QueueInterval <= 0 {
+		c.QueueInterval = 100 * time.Millisecond
+	}
+	if c.MergeReserve <= 0 {
+		c.MergeReserve = 10 * time.Millisecond
 	}
 }
 
@@ -134,6 +171,12 @@ type Query struct {
 	// intersects it. The restriction is pushed down to each shard's
 	// pruning index, composing with the similarity pruning.
 	Filter *geo.Rect
+	// AllowDegraded opts this query into graceful degradation: under
+	// overload or an insufficient deadline budget the engine may substitute
+	// a cheaper search (ExactS/SizeS → PSS → the compiled RLS-Skip policy)
+	// instead of rejecting, and marks the answer's Degraded field. Without
+	// the opt-in the engine NEVER silently changes what a ranking means.
+	AllowDegraded bool
 	// Distinct collapses matches whose matched subtrajectories carry
 	// identical points (duplicate loads of the same data), keeping the
 	// best-ranked representative; the ranking may then hold fewer than K
@@ -173,6 +216,20 @@ type Stats struct {
 	CandidatesSeen int64 `json:"candidates_seen"`
 	LBSkipped      int64 `json:"lb_skipped"`
 	EarlyAbandoned int64 `json:"early_abandoned"`
+
+	// Overload-resilience counters: queries shed by admission control
+	// (ShedExpensive of them from the expensive cost classes), queries
+	// rejected early because their predicted cost exceeded the remaining
+	// deadline budget, and queries answered by a degraded (cheaper)
+	// algorithm under the caller's opt-in. QueueDepth/QueueWaitMS/Shedding
+	// describe the admission queue right now.
+	Shed            int64   `json:"shed"`
+	ShedExpensive   int64   `json:"shed_expensive"`
+	DeadlineRejects int64   `json:"deadline_rejects"`
+	DegradedQueries int64   `json:"degraded_queries"`
+	QueueDepth      int64   `json:"queue_depth"`
+	QueueWaitMS     float64 `json:"queue_wait_ms"`
+	Shedding        bool    `json:"shedding,omitempty"`
 
 	// Learned-search serving state and sampled quality aggregates (see
 	// Config.QualitySample and sampleQuality for the exact definitions).
@@ -271,6 +328,13 @@ type Engine struct {
 	lbSkipped atomic.Int64
 	abandoned atomic.Int64
 
+	// overload resilience: the admission controller, the scan-cost model
+	// behind early deadline_exceeded rejection, and its counters
+	adm             *admitter
+	cost            costModel
+	deadlineRejects atomic.Int64
+	degradedQueries atomic.Int64
+
 	// policy is the registered DQN splitting policy serving "rls" /
 	// "rls-skip" (nil until SetPolicy); see policy.go.
 	policy     atomic.Pointer[policyEntry]
@@ -293,6 +357,7 @@ func New(cfg Config) *Engine {
 		shards: make([]*shard, cfg.Shards),
 		sem:    make(chan struct{}, cfg.Workers),
 		cache:  newResultCache(cfg.CacheSize),
+		adm:    newAdmitter(cfg.QuerySlots, cfg.QueueLimit, cfg.QueueTarget, cfg.QueueInterval),
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{kind: cfg.Index.coreKind()}
@@ -609,7 +674,7 @@ next:
 // mutated. TopK honors ctx cancellation and deadlines. Validation and
 // resolution failures are typed *api.Error values.
 func (e *Engine) TopK(ctx context.Context, q Query) (matches []Match, cached bool, err error) {
-	_, page, cached, err := e.topK(ctx, q)
+	_, page, cached, _, err := e.topK(ctx, q)
 	return page, cached, err
 }
 
@@ -641,6 +706,10 @@ func (e *Engine) scatter(ctx context.Context, alg core.Algorithm, q Query) ([]Ma
 				errs[i] = ctx.Err()
 				return
 			}
+			if ferr := failpoint.InjectCtx(ctx, "engine/scan"); ferr != nil {
+				errs[i] = ferr
+				return
+			}
 			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K, q.Filter, shared, &stats[i], e.cfg.BatchLanes)
 		}(i, s)
 	}
@@ -658,14 +727,15 @@ func (e *Engine) scatter(ctx context.Context, alg core.Algorithm, q Query) ([]Ma
 }
 
 // topK is TopK also returning the full (unpaged) ranking, which the API
-// adapter reports as the result's Total.
-func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached bool, err error) {
+// adapter reports as the result's Total, and the degradation marker when
+// the overload-resilience plan substituted a cheaper algorithm.
+func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached bool, deg *api.Degraded, err error) {
 	if aerr := e.validateQuery(q); aerr != nil {
-		return nil, nil, false, aerr
+		return nil, nil, false, nil, aerr
 	}
 	alg, policyFP, err := e.resolveAlg(q.Measure, q.Algorithm, q.Params)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, nil, err
 	}
 	e.queries.Add(1)
 	if _, ok := alg.(core.RLS); ok {
@@ -679,16 +749,40 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 		key = e.cacheKeyFor(q, policyFP)
 		if ms, ok := e.cache.get(key, q.Q); ok {
 			e.hits.Add(1)
-			return ms, pageOf(ms, q.Offset, q.Limit), true, nil
+			return ms, pageOf(ms, q.Offset, q.Limit), true, nil, nil
 		}
 		e.misses.Add(1)
 	}
 
+	rel, deg, aerr := e.planAdmit(ctx, &q)
+	if aerr != nil {
+		return nil, nil, false, nil, aerr
+	}
+	defer rel()
+	if deg != nil {
+		// the plan substituted a cheaper algorithm: rebind it and retry the
+		// cache under the rewritten query's key
+		alg, policyFP, err = e.resolveAlg(q.Measure, q.Algorithm, q.Params)
+		if err != nil {
+			return nil, nil, false, nil, err
+		}
+		if e.cache != nil {
+			key = e.cacheKeyFor(q, policyFP)
+			if ms, ok := e.cache.get(key, q.Q); ok {
+				e.hits.Add(1)
+				return ms, pageOf(ms, q.Offset, q.Limit), true, deg, nil
+			}
+		}
+	}
+
 	gen := e.gen.Load()
+	n := e.Len()
+	scanStart := time.Now()
 	merged, prune, err := e.scatter(ctx, alg, q)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, nil, err
 	}
+	e.cost.observe(q.Measure, q.Algorithm, n, time.Since(scanStart))
 	e.recordPrune(prune)
 	// sampled serving quality of the learned searches: compare this ranking
 	// against the exact one over the same snapshot — before distinct
@@ -705,7 +799,7 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 	if e.cache != nil && key.gen%2 == 0 && e.gen.Load() == key.gen {
 		e.cache.put(key, q.Q, slices.Clone(merged))
 	}
-	return merged, pageOf(merged, q.Offset, q.Limit), false, nil
+	return merged, pageOf(merged, q.Offset, q.Limit), false, deg, nil
 }
 
 // mergeHeap is a min-heap over the heads of per-shard ascending match
@@ -787,6 +881,14 @@ func (e *Engine) Stats() Stats {
 		LBSkipped:      e.lbSkipped.Load(),
 		EarlyAbandoned: e.abandoned.Load(),
 		RLSQueries:     e.rlsQueries.Load(),
+
+		Shed:            e.adm.shed.Load(),
+		ShedExpensive:   e.adm.shedExpensive.Load(),
+		DeadlineRejects: e.deadlineRejects.Load(),
+		DegradedQueries: e.degradedQueries.Load(),
+		QueueDepth:      e.adm.queued.Load(),
+		QueueWaitMS:     float64(e.adm.queueWait().Microseconds()) / 1000,
+		Shedding:        e.adm.shedding.Load(),
 	}
 	if info, ok := e.Policy(); ok {
 		st.PolicyLoaded = true

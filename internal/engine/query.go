@@ -53,11 +53,12 @@ func QueryFromSpec(spec api.QuerySpec) (Query, *api.Error) {
 			CDTWBand: spec.CDTWBand,
 			POSDelay: spec.POSDelay,
 		},
-		Bound:    spec.Bound,
-		Filter:   filter,
-		Distinct: spec.Distinct,
-		Offset:   spec.Offset,
-		Limit:    spec.Limit,
+		Bound:         spec.Bound,
+		Filter:        filter,
+		AllowDegraded: spec.AllowDegraded,
+		Distinct:      spec.Distinct,
+		Offset:        spec.Offset,
+		Limit:         spec.Limit,
 	}, nil
 }
 
@@ -123,15 +124,16 @@ func (e *Engine) QueryOne(ctx context.Context, spec api.QuerySpec) api.QueryResu
 	if aerr != nil {
 		return api.QueryResult{Error: aerr, TookMS: tookMS(start)}
 	}
-	full, page, cached, err := e.topK(ctx, q)
+	full, page, cached, deg, err := e.topK(ctx, q)
 	if err != nil {
 		return api.QueryResult{Error: api.FromError(err), TookMS: tookMS(start)}
 	}
 	return api.QueryResult{
-		Matches: MatchesToAPI(page),
-		Total:   len(full),
-		Cached:  cached,
-		TookMS:  tookMS(start),
+		Matches:  MatchesToAPI(page),
+		Total:    len(full),
+		Cached:   cached,
+		Degraded: deg,
+		TookMS:   tookMS(start),
 	}
 }
 
@@ -172,7 +174,7 @@ func (e *Engine) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 		return nil, aerr
 	}
 	emitted := 0
-	full, page, cached, err := e.topKStream(ctx, q, func(m Match) error {
+	full, page, cached, deg, err := e.topKStream(ctx, q, func(m Match) error {
 		emitted++
 		return emit(MatchToAPI(m))
 	})
@@ -180,10 +182,11 @@ func (e *Engine) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 		return nil, api.FromError(err)
 	}
 	return &api.StreamSummary{
-		Matches: MatchesToAPI(page),
-		Total:   len(full),
-		Cached:  cached,
-		Emitted: emitted,
-		TookMS:  tookMS(start),
+		Matches:  MatchesToAPI(page),
+		Total:    len(full),
+		Cached:   cached,
+		Emitted:  emitted,
+		Degraded: deg,
+		TookMS:   tookMS(start),
 	}, nil
 }

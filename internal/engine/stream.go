@@ -9,7 +9,9 @@ import (
 
 	"slices"
 
+	"simsub/api"
 	"simsub/internal/core"
+	"simsub/internal/failpoint"
 )
 
 // publishedKth exposes the stream collector's running global k-th-best
@@ -103,18 +105,20 @@ func (h *streamHeap) sorted() []Match {
 // search and is returned unchanged. On a cache hit the final page is
 // emitted match by match before the call returns.
 func (e *Engine) TopKStream(ctx context.Context, q Query, emit func(Match) error) (matches []Match, cached bool, err error) {
-	_, page, cached, err := e.topKStream(ctx, q, emit)
+	_, page, cached, _, err := e.topKStream(ctx, q, emit)
 	return page, cached, err
 }
 
-// topKStream is TopKStream also returning the full (unpaged) ranking.
-func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error) (full, page []Match, cached bool, err error) {
+// topKStream is TopKStream also returning the full (unpaged) ranking and
+// the degradation marker when the overload-resilience plan substituted a
+// cheaper algorithm.
+func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error) (full, page []Match, cached bool, deg *api.Degraded, err error) {
 	if aerr := e.validateQuery(q); aerr != nil {
-		return nil, nil, false, aerr
+		return nil, nil, false, nil, aerr
 	}
 	alg, policyFP, err := e.resolveAlg(q.Measure, q.Algorithm, q.Params)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, nil, err
 	}
 	e.queries.Add(1)
 	if _, ok := alg.(core.RLS); ok {
@@ -124,19 +128,49 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 	defer e.inflight.Add(-1)
 
 	var key cacheKey
+	cacheGet := func() (f, p []Match, hit bool, herr error) {
+		ms, ok := e.cache.get(key, q.Q)
+		if !ok {
+			return nil, nil, false, nil
+		}
+		e.hits.Add(1)
+		page := pageOf(ms, q.Offset, q.Limit)
+		for _, m := range page {
+			if err := emit(m); err != nil {
+				return nil, nil, true, err
+			}
+		}
+		return ms, page, true, nil
+	}
 	if e.cache != nil {
 		key = e.cacheKeyFor(q, policyFP)
-		if ms, ok := e.cache.get(key, q.Q); ok {
-			e.hits.Add(1)
-			page := pageOf(ms, q.Offset, q.Limit)
-			for _, m := range page {
-				if err := emit(m); err != nil {
-					return nil, nil, false, err
-				}
-			}
-			return ms, page, true, nil
+		if f, p, hit, herr := cacheGet(); hit {
+			return f, p, herr == nil, nil, herr
 		}
 		e.misses.Add(1)
+	}
+
+	rel, deg, aerr := e.planAdmit(ctx, &q)
+	if aerr != nil {
+		return nil, nil, false, nil, aerr
+	}
+	defer rel()
+	if deg != nil {
+		// the plan substituted a cheaper algorithm: rebind it and retry the
+		// cache under the rewritten query's key
+		alg, policyFP, err = e.resolveAlg(q.Measure, q.Algorithm, q.Params)
+		if err != nil {
+			return nil, nil, false, nil, err
+		}
+		if e.cache != nil {
+			key = e.cacheKeyFor(q, policyFP)
+			if f, p, hit, herr := cacheGet(); hit {
+				if herr != nil {
+					return nil, nil, false, nil, herr
+				}
+				return f, p, true, deg, nil
+			}
+		}
 	}
 
 	// Shard scanners funnel every candidate's match into one channel; the
@@ -164,6 +198,10 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 				defer func() { <-e.sem }()
 			case <-scanCtx.Done():
 				errs[i] = scanCtx.Err()
+				return
+			}
+			if ferr := failpoint.InjectCtx(scanCtx, "engine/scan"); ferr != nil {
+				errs[i] = ferr
 				return
 			}
 			db := s.snapshot()
@@ -200,11 +238,11 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 		}
 	}
 	if emitErr != nil {
-		return nil, nil, false, emitErr
+		return nil, nil, false, nil, emitErr
 	}
 	for _, serr := range errs {
 		if serr != nil {
-			return nil, nil, false, serr
+			return nil, nil, false, nil, serr
 		}
 	}
 	var prune core.PruneStats
@@ -220,5 +258,5 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 	if e.cache != nil && key.gen%2 == 0 && e.gen.Load() == key.gen {
 		e.cache.put(key, q.Q, slices.Clone(merged))
 	}
-	return merged, pageOf(merged, q.Offset, q.Limit), false, nil
+	return merged, pageOf(merged, q.Offset, q.Limit), false, deg, nil
 }

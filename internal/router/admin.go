@@ -168,6 +168,15 @@ func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
 			agg.EarlyAbandoned += e.EarlyAbandoned
 			agg.RLSQueries += e.RLSQueries
 			agg.QualitySamples += e.QualitySamples
+			agg.Shed += e.Shed
+			agg.ShedExpensive += e.ShedExpensive
+			agg.DeadlineRejects += e.DeadlineRejects
+			agg.DegradedQueries += e.DegradedQueries
+			agg.QueueDepth += e.QueueDepth
+			if e.QueueWaitMS > agg.QueueWaitMS {
+				agg.QueueWaitMS = e.QueueWaitMS // worst node's smoothed wait
+			}
+			agg.Shedding = agg.Shedding || e.Shedding
 			if !agg.PolicyLoaded && e.PolicyLoaded {
 				agg.PolicyLoaded = true
 				agg.PolicyName = e.PolicyName
@@ -193,6 +202,7 @@ func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
 		Retries:          r.retries.Load(),
 		PartialResults:   r.partial.Load(),
 		BoundsPropagated: r.bounds.Load(),
+		DeadlineRejects:  r.deadlineRejects.Load(),
 	}
 	for i, n := range r.nodes {
 		// Surface each node's self-reported lifecycle state so operators can
@@ -206,17 +216,19 @@ func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
 			}
 		}
 		rs.Nodes = append(rs.Nodes, api.NodeStats{
-			Node:      n.base,
-			Group:     n.group,
-			State:     state,
-			Healthy:   n.healthy.Load(),
-			Requests:  n.requests.Load(),
-			Failures:  n.failures.Load(),
-			Hedges:    n.hedges.Load(),
-			Retries:   n.retries.Load(),
-			RTTMeanMS: durMS(n.rtt.mean()),
-			RTTP50MS:  durMS(n.rtt.quantile(0.50)),
-			RTTP95MS:  durMS(n.rtt.quantile(0.95)),
+			Node:         n.base,
+			Group:        n.group,
+			State:        state,
+			Healthy:      n.healthy.Load(),
+			Requests:     n.requests.Load(),
+			Failures:     n.failures.Load(),
+			Hedges:       n.hedges.Load(),
+			Retries:      n.retries.Load(),
+			RTTMeanMS:    durMS(n.rtt.mean()),
+			RTTP50MS:     durMS(n.rtt.quantile(0.50)),
+			RTTP95MS:     durMS(n.rtt.quantile(0.95)),
+			Breaker:      n.brk.stateName(),
+			BreakerOpens: n.brk.openCount(),
 		})
 	}
 	return &api.StatsResponse{Engine: agg, Measures: measures, Router: rs}, nil

@@ -1,0 +1,117 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-node circuit breaker. The router's failover already
+// survives a dead node, but without a breaker every query keeps paying the
+// dead node's connect timeout before failing over; the breaker remembers
+// the failure run and ejects the node up front, then re-admits it through
+// single half-open probes instead of a thundering herd.
+//
+// States: closed (requests flow; a run of threshold consecutive degradable
+// failures trips it), open (requests rejected without a network attempt
+// until cooldown passes), half-open (exactly one probe in flight; its
+// outcome closes or re-opens the breaker).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int
+	fails    int // consecutive degradable failures
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	opens    int64
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent to the node now. An open
+// breaker past its cooldown moves to half-open and admits exactly one
+// probe. Every allowed request must be followed by record (or
+// recordNeutral), or a consumed probe slot would block the node forever.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// record folds one finished request's outcome: success closes the breaker
+// and ends the failure run; a degradable failure extends the run, trips
+// the breaker at the threshold, and re-opens a half-open breaker
+// immediately.
+func (b *breaker) record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !failed {
+		b.state = breakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		if b.state != breakerOpen {
+			b.opens++
+		}
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.fails = 0
+	}
+}
+
+// recordNeutral releases a probe slot without judging the node — the
+// attempt was canceled (a hedge sibling won, the caller gave up) before it
+// could prove anything.
+func (b *breaker) recordNeutral() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// stateName reports the state for telemetry.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+func (b *breaker) openCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

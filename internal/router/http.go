@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"simsub/api"
+	"simsub/internal/server"
 )
 
 // HandlerOptions tunes the router's HTTP front end. The zero value is
@@ -23,6 +24,10 @@ type HandlerOptions struct {
 	MaxBodyBytes int64
 	// MaxBatchSpecs caps the specs per /v2/query batch (default 256).
 	MaxBatchSpecs int
+	// EnableFailpoints exposes POST/GET /v2/admin/failpoints for arming the
+	// router's own fault sites (router/transport). Off by default: fault
+	// injection is a test/chaos facility, never enabled in production.
+	EnableFailpoints bool
 }
 
 func (o *HandlerOptions) fill() {
@@ -60,6 +65,9 @@ func NewHandler(r *Router, opts HandlerOptions) *Handler {
 	h.mux.HandleFunc("POST /v2/admin/policy", h.handlePolicySwap)
 	h.mux.HandleFunc("GET /v2/admin/policy", h.handlePolicyGet)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	if opts.EnableFailpoints {
+		h.mux.Handle("/v2/admin/failpoints", server.FailpointsHandler())
+	}
 	return h
 }
 
@@ -75,7 +83,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeErr renders the typed error envelope with its mapped HTTP status.
+// Like the node server, every overloaded (503) response carries a
+// Retry-After header: the error's drain-rate-derived hint when it has one,
+// a conservative 1s otherwise.
 func writeErr(w http.ResponseWriter, ae *api.Error) {
+	if ae.Code == api.CodeOverloaded {
+		if ae.RetryAfterMS <= 0 {
+			cp := *ae
+			cp.RetryAfterMS = 1000
+			ae = &cp
+		}
+		w.Header().Set("Retry-After", strconv.Itoa((ae.RetryAfterMS+999)/1000))
+	}
 	writeJSON(w, ae.HTTPStatus(), api.ErrorResponse{Err: *ae})
 }
 

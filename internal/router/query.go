@@ -62,6 +62,40 @@ func (r *Router) validateSpec(spec api.QuerySpec) *api.Error {
 	return spec.ValidateBound()
 }
 
+// checkBudget rejects a deadline-carrying request whose remaining budget
+// is already inside the router's merge reserve: no node could answer in
+// time, so the typed rejection is immediate instead of a scatter that
+// burns fleet slots only to time out anyway.
+func (r *Router) checkBudget(ctx context.Context) *api.Error {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	if remaining := time.Until(dl); remaining <= r.cfg.MergeReserve {
+		r.deadlineRejects.Add(1)
+		return api.Errorf(api.CodeDeadlineExceeded,
+			"remaining deadline budget %v is inside the router's %v merge reserve — retry with a larger deadline",
+			remaining, r.cfg.MergeReserve)
+	}
+	return nil
+}
+
+// budgetMS converts an attempt context's remaining deadline into the
+// per-node timeout_ms, shaving the router's MergeReserve so the node's
+// budget expires (with a typed error) before the router's own merge window
+// does. Zero — no node-side bound — when the request carries no deadline.
+func (r *Router) budgetMS(ctx context.Context) int {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := int((time.Until(dl) - r.cfg.MergeReserve) / time.Millisecond)
+	if ms <= 0 {
+		ms = 1 // doomed: let the node reject instantly with its typed error
+	}
+	return ms
+}
+
 // nodeSpec derives the per-node spec of a scatter wave: paging and
 // distinct collapsing are global concerns applied at the router after the
 // merge, k is clamped to the group's holdings (a node rejects k beyond its
@@ -98,15 +132,22 @@ func tighten(bound *float64, d float64) *float64 {
 }
 
 // queryGroup answers one spec against one replica group (with hedging and
-// failover) and rewrites the matches into router-global ID space.
-func (r *Router) queryGroup(ctx context.Context, g *group, spec api.QuerySpec) ([]engine.Match, bool, error) {
+// failover) and rewrites the matches into router-global ID space. The
+// request's remaining deadline budget (shaved by MergeReserve) rides to
+// the node as timeout_ms, so the node's admission control can reject a
+// doomed query with a typed error instead of burning a slot on it.
+func (r *Router) queryGroup(ctx context.Context, g *group, spec api.QuerySpec) ([]engine.Match, bool, *api.Degraded, error) {
 	type answer struct {
 		ms     []engine.Match
 		cached bool
+		deg    *api.Degraded
 	}
 	a, err := groupDo(ctx, r, g, true, func(ctx context.Context, n *node) (answer, error) {
 		start := time.Now()
-		resp, err := n.c.Query(ctx, api.Query{Specs: []api.QuerySpec{spec}})
+		if ferr := n.transportFault(ctx, start); ferr != nil {
+			return answer{}, ferr
+		}
+		resp, err := n.c.Query(ctx, api.Query{Specs: []api.QuerySpec{spec}, TimeoutMS: r.budgetMS(ctx)})
 		if err == nil && len(resp.Results) != 1 {
 			err = api.Errorf(api.CodeInternal, "node answered %d results for 1 spec", len(resp.Results))
 		}
@@ -126,19 +167,30 @@ func (r *Router) queryGroup(ctx context.Context, g *group, spec api.QuerySpec) (
 			}
 			ms[i] = gm
 		}
-		return answer{ms: ms, cached: res.Cached}, nil
+		return answer{ms: ms, cached: res.Cached, deg: res.Degraded}, nil
 	})
-	return a.ms, a.cached, err
+	return a.ms, a.cached, a.deg, err
 }
 
 // gather is the outcome of one scatter: the per-group top-k lists (global
-// IDs, ascending), whether every list came from a node cache, and which
-// groups degraded.
+// IDs, ascending), whether every list came from a node cache, which groups
+// lost all replicas, and whether any node answered with a degraded
+// (fallback-algorithm) ranking.
 type gather struct {
 	lists    [][]engine.Match
 	cached   bool
 	active   int
 	failures []api.NodeFailure
+	degraded *api.Degraded
+}
+
+// noteDegraded folds one group's degradation marker into the gather (the
+// first marker wins — it names the algorithm substitution, which every
+// degrading node performs identically).
+func (g *gather) noteDegraded(deg *api.Degraded) {
+	if g.degraded == nil {
+		g.degraded = deg
+	}
 }
 
 // scatterGather fans one spec out over every non-empty group and collects
@@ -171,11 +223,12 @@ func (r *Router) scatterGather(ctx context.Context, spec api.QuerySpec) (gather,
 		rest = append(rest, active[:pi]...)
 		rest = append(rest, active[pi+1:]...)
 		g := r.groups[gi]
-		ms, cached, err := r.queryGroup(ctx, g, nodeSpec(spec, bound, counts[gi]))
+		ms, cached, deg, err := r.queryGroup(ctx, g, nodeSpec(spec, bound, counts[gi]))
 		switch {
 		case err == nil:
 			out.lists = append(out.lists, ms)
 			out.cached = out.cached && cached
+			out.noteDegraded(deg)
 			if len(ms) >= spec.K {
 				bound = tighten(bound, ms[spec.K-1].Result.Dist)
 			}
@@ -193,6 +246,7 @@ func (r *Router) scatterGather(ctx context.Context, spec api.QuerySpec) (gather,
 	type groupOut struct {
 		ms     []engine.Match
 		cached bool
+		deg    *api.Degraded
 		err    error
 	}
 	outs := make([]groupOut, len(rest))
@@ -201,8 +255,8 @@ func (r *Router) scatterGather(ctx context.Context, spec api.QuerySpec) (gather,
 		wg.Add(1)
 		go func(i, gi int) {
 			defer wg.Done()
-			ms, cached, err := r.queryGroup(ctx, r.groups[gi], nodeSpec(spec, bound, counts[gi]))
-			outs[i] = groupOut{ms: ms, cached: cached, err: err}
+			ms, cached, deg, err := r.queryGroup(ctx, r.groups[gi], nodeSpec(spec, bound, counts[gi]))
+			outs[i] = groupOut{ms: ms, cached: cached, deg: deg, err: err}
 		}(i, gi)
 	}
 	wg.Wait()
@@ -211,6 +265,7 @@ func (r *Router) scatterGather(ctx context.Context, spec api.QuerySpec) (gather,
 		case o.err == nil:
 			out.lists = append(out.lists, o.ms)
 			out.cached = out.cached && o.cached
+			out.noteDegraded(o.deg)
 		case !degradable(o.err):
 			return gather{}, api.FromError(o.err)
 		default:
@@ -229,7 +284,15 @@ func (r *Router) finishGather(g gather) (*api.Partial, *api.Error) {
 	}
 	if len(g.failures) == g.active {
 		f := g.failures[0]
-		return nil, api.Errorf(f.Err.Code, "every shard group failed; first: %s: %s", f.Node, f.Err.Message)
+		ae := api.Errorf(f.Err.Code, "every shard group failed; first: %s: %s", f.Node, f.Err.Message)
+		// keep the nodes' back-off guidance: the caller should wait for
+		// the slowest-draining group before retrying the whole scatter
+		for _, fl := range g.failures {
+			if fl.Err.RetryAfterMS > ae.RetryAfterMS {
+				ae.RetryAfterMS = fl.Err.RetryAfterMS
+			}
+		}
+		return nil, ae
 	}
 	r.partial.Add(1)
 	return &api.Partial{NodesTotal: g.active, NodesFailed: len(g.failures), Failures: g.failures}, nil
@@ -244,6 +307,9 @@ func (r *Router) QueryOne(ctx context.Context, spec api.QuerySpec) api.QueryResu
 	start := time.Now()
 	spec = spec.WithDefaults()
 	if aerr := r.validateSpec(spec); aerr != nil {
+		return api.QueryResult{Error: aerr, TookMS: tookMS(start)}
+	}
+	if aerr := r.checkBudget(ctx); aerr != nil {
 		return api.QueryResult{Error: aerr, TookMS: tookMS(start)}
 	}
 	r.queries.Add(1)
@@ -261,11 +327,12 @@ func (r *Router) QueryOne(ctx context.Context, spec api.QuerySpec) api.QueryResu
 	}
 	page := pageOf(full, spec.Offset, spec.Limit)
 	return api.QueryResult{
-		Matches: engine.MatchesToAPI(page),
-		Total:   len(full),
-		Cached:  g.cached,
-		Partial: partial,
-		TookMS:  tookMS(start),
+		Matches:  engine.MatchesToAPI(page),
+		Total:    len(full),
+		Cached:   g.cached,
+		Partial:  partial,
+		Degraded: g.degraded,
+		TookMS:   tookMS(start),
 	}
 }
 

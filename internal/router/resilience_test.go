@@ -1,0 +1,358 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simsub/api"
+	"simsub/client"
+	"simsub/internal/failpoint"
+)
+
+func TestBreakerUnit(t *testing.T) {
+	b := newBreaker(3, 20*time.Millisecond)
+	if !b.allow() {
+		t.Fatal("closed breaker rejected")
+	}
+	b.record(true)
+	b.record(true)
+	if b.stateName() != "closed" {
+		t.Fatalf("state after 2/3 failures = %s", b.stateName())
+	}
+	b.record(true) // third consecutive failure trips it
+	if b.stateName() != "open" || b.openCount() != 1 {
+		t.Fatalf("state=%s opens=%d, want open/1", b.stateName(), b.openCount())
+	}
+	if b.allow() {
+		t.Fatal("open breaker inside cooldown admitted a request")
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.record(true) // failed probe re-opens immediately
+	if b.stateName() != "open" || b.openCount() != 2 {
+		t.Fatalf("after failed probe: state=%s opens=%d, want open/2", b.stateName(), b.openCount())
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second probe refused")
+	}
+	b.record(false) // successful probe closes
+	if b.stateName() != "closed" {
+		t.Fatalf("after successful probe: %s", b.stateName())
+	}
+	// a success resets the failure run
+	b.record(true)
+	b.record(true)
+	b.record(false)
+	b.record(true)
+	if b.stateName() != "closed" {
+		t.Fatal("failure run survived an intervening success")
+	}
+
+	// recordNeutral releases a probe slot without closing the breaker
+	b2 := newBreaker(1, time.Millisecond)
+	b2.record(true)
+	time.Sleep(5 * time.Millisecond)
+	if !b2.allow() {
+		t.Fatal("probe refused")
+	}
+	b2.recordNeutral()
+	if b2.stateName() != "half-open" {
+		t.Fatalf("neutral outcome changed state to %s", b2.stateName())
+	}
+	if !b2.allow() {
+		t.Fatal("probe slot not released by recordNeutral")
+	}
+}
+
+// flakyNode fronts a real shard node with a toggleable failure mode, so a
+// "dead" node can come back (an httptest server cannot reopen its port).
+type flakyNode struct {
+	backend *testNode
+	broken  atomic.Bool
+	srv     *httptest.Server
+}
+
+func startFlakyNode(t *testing.T, backend *testNode) *flakyNode {
+	t.Helper()
+	f := &flakyNode{backend: backend}
+	u, err := url.Parse(backend.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(u)
+	proxy.ErrorLog = nil
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.broken.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(w).Encode(api.ErrorResponse{Err: *api.Errorf(api.CodeInternal, "injected node failure")})
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// TestBreakerEjectsAndRecovers: a replica that keeps failing is ejected
+// after BreakerThreshold consecutive failures (queries stop contacting it),
+// and after the cooldown a half-open probe lets it back in once it heals.
+func TestBreakerEjectsAndRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ts := randSet(rng, 40)
+	backends := startFleet(t, 2)
+	flaky := startFlakyNode(t, backends[0])
+
+	cfg := Config{
+		Nodes:            []string{flaky.srv.URL, backends[1].srv.URL},
+		Replication:      2,
+		NoHedge:          true,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+		Retry:            client.RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustLoad(t, r, ts)
+
+	flaky.broken.Store(true)
+	spec := api.QuerySpec{Query: api.FromTraj(randTraj(rng, 6)), K: 5}
+	// enough queries that the rotating primary hits the flaky node at
+	// least BreakerThreshold times; every query still succeeds by failover
+	for i := 0; i < 6; i++ {
+		if res := r.QueryOne(context.Background(), spec); res.Error != nil {
+			t.Fatalf("query %d failed despite a healthy replica: %v", i, res.Error)
+		}
+	}
+	flakyNode := r.nodes[0]
+	if flakyNode.brk.stateName() != "open" {
+		t.Fatalf("breaker = %s after repeated failures, want open", flakyNode.brk.stateName())
+	}
+	if flakyNode.brk.openCount() == 0 {
+		t.Fatal("breaker open count not incremented")
+	}
+
+	// while open (inside the cooldown) the node receives no requests
+	before := flakyNode.requests.Load()
+	for i := 0; i < 4; i++ {
+		if res := r.QueryOne(context.Background(), spec); res.Error != nil {
+			t.Fatalf("query with ejected replica failed: %v", res.Error)
+		}
+	}
+	if got := flakyNode.requests.Load(); got != before {
+		t.Fatalf("ejected node received %d requests during cooldown", got-before)
+	}
+
+	// stats surface the breaker
+	st, err := r.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Router.Nodes[0].Breaker == "closed" || st.Router.Nodes[0].BreakerOpens == 0 {
+		t.Fatalf("stats row does not reflect the tripped breaker: %+v", st.Router.Nodes[0])
+	}
+
+	// heal the node; after the cooldown a probe closes the breaker again
+	flaky.broken.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for flakyNode.brk.stateName() != "closed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after heal; state=%s", flakyNode.brk.stateName())
+		}
+		if res := r.QueryOne(context.Background(), spec); res.Error != nil {
+			t.Fatalf("query during recovery failed: %v", res.Error)
+		}
+	}
+}
+
+// TestBreakerForcedProbe: with every replica's breaker open, queries still
+// go out (forced probe) instead of failing without any network attempt —
+// and that probe is what lets a healed single-replica fleet recover.
+func TestBreakerForcedProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	ts := randSet(rng, 30)
+	backends := startFleet(t, 1)
+	flaky := startFlakyNode(t, backends[0])
+	r, err := New(Config{
+		Nodes:            []string{flaky.srv.URL},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour, // never cools down: only the forced probe can reach the node
+		Retry:            client.RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustLoad(t, r, ts)
+
+	flaky.broken.Store(true)
+	spec := api.QuerySpec{Query: api.FromTraj(randTraj(rng, 6)), K: 5}
+	if res := r.QueryOne(context.Background(), spec); res.Error == nil {
+		t.Fatal("query succeeded against a broken single node")
+	}
+	if r.nodes[0].brk.stateName() != "open" {
+		t.Fatalf("breaker = %s, want open", r.nodes[0].brk.stateName())
+	}
+
+	flaky.broken.Store(false)
+	if res := r.QueryOne(context.Background(), spec); res.Error != nil {
+		t.Fatalf("forced probe did not reach the healed node: %v", res.Error)
+	}
+}
+
+// TestRouterDeadlineBudget: a request whose remaining deadline is inside
+// the router's merge reserve is rejected up front with a typed
+// deadline_exceeded — no scatter, no slot burned.
+func TestRouterDeadlineBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	nodes := startFleet(t, 1)
+	r := newTestRouter(t, nodes, func(c *Config) { c.MergeReserve = 50 * time.Millisecond })
+	mustLoad(t, r, randSet(rng, 20))
+
+	before := r.nodes[0].requests.Load()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	spec := api.QuerySpec{Query: api.FromTraj(randTraj(rng, 6)), K: 5}
+	res := r.QueryOne(ctx, spec)
+	if res.Error == nil || res.Error.Code != api.CodeDeadlineExceeded {
+		t.Fatalf("got %+v, want typed deadline_exceeded", res.Error)
+	}
+	if got := r.nodes[0].requests.Load(); got != before {
+		t.Fatal("doomed request was still scattered to the fleet")
+	}
+	if _, err := r.QueryStream(ctx, spec, func(api.Match) error { return nil }); err == nil {
+		t.Fatal("stream path accepted a doomed deadline")
+	}
+	st, err := r.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Router.DeadlineRejects < 2 {
+		t.Fatalf("DeadlineRejects = %d, want >= 2", st.Router.DeadlineRejects)
+	}
+}
+
+// TestRouterPropagatesDegraded: a shard node that answers with a degraded
+// (fallback-algorithm) ranking under the caller's allow_degraded opt-in
+// has its marker surfaced in the router's merged result. The node's cost
+// model is trained through the engine/scan failpoint (a slow scan is a
+// slow scan, injected or not).
+func TestRouterPropagatesDegraded(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	nodes := startFleet(t, 1)
+	r := newTestRouter(t, nodes, nil)
+	mustLoad(t, r, randSet(rng, 20))
+
+	// two slow uncached exact scans teach the node that exacts is expensive
+	defer failpoint.DisableAll()
+	if err := failpoint.Enable("engine/scan", "sleep(300ms)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		spec := api.QuerySpec{Query: api.FromTraj(randTraj(rng, 5)), K: 3, Algorithm: "exacts"}
+		if res := r.QueryOne(context.Background(), spec); res.Error != nil {
+			t.Fatalf("training query %d: %v", i, res.Error)
+		}
+	}
+	failpoint.DisableAll()
+
+	// now a tight deadline cannot fit the predicted exacts scan: with the
+	// opt-in the node falls back and the router surfaces the marker
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	spec := api.QuerySpec{Query: api.FromTraj(randTraj(rng, 5)), K: 3, Algorithm: "exacts", AllowDegraded: true}
+	res := r.QueryOne(ctx, spec)
+	if res.Error != nil {
+		t.Fatalf("degradable query failed: %v", res.Error)
+	}
+	if res.Degraded == nil || res.Degraded.Reason != api.DegradedBudget || res.Degraded.From != "exacts" || res.Degraded.To != "pss" {
+		t.Fatalf("Degraded = %+v, want budget exacts->pss", res.Degraded)
+	}
+
+	// without the opt-in the same query is a typed rejection, never a
+	// silent fallback
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel2()
+	spec.AllowDegraded = false
+	res = r.QueryOne(ctx2, spec)
+	if res.Error == nil || res.Error.Code != api.CodeDeadlineExceeded {
+		t.Fatalf("without opt-in: got %+v, want deadline_exceeded", res.Error)
+	}
+}
+
+// TestRouterStreamPartialOnMidStreamDeath: a shard node dying in the
+// middle of /v2/query/stream — after provisional matches already reached
+// the client — must end with a trailing Partial summary over the surviving
+// groups, not a hang or a truncated stream.
+func TestRouterStreamPartialOnMidStreamDeath(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	ts := randSet(rng, 120)
+	backends := startFleet(t, 2)
+
+	// group 0's node emits one provisional match and then severs the
+	// connection mid-stream; everything else passes through
+	u, err := url.Parse(backends[0].srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(u)
+	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/query/stream" {
+			proxy.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		m := api.Match{TrajID: 0, Start: 0, End: 1, Dist: 0.5}
+		_ = json.NewEncoder(w).Encode(api.StreamEvent{Match: &m})
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler) // sever mid-stream
+	}))
+	t.Cleanup(dying.Close)
+
+	r, err := New(Config{
+		Nodes: []string{dying.URL, backends[1].srv.URL},
+		Retry: client.RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustLoad(t, r, ts)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	emitted := 0
+	spec := api.QuerySpec{Query: api.FromTraj(randTraj(rng, 6)), K: 10}
+	sum, err := r.QueryStream(ctx, spec, func(api.Match) error { emitted++; return nil })
+	if err != nil {
+		t.Fatalf("stream with a dying shard errored instead of degrading: %v", err)
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatal("stream hung until the deadline")
+	}
+	if sum.Partial == nil || sum.Partial.NodesFailed != 1 || sum.Partial.NodesTotal != 2 {
+		t.Fatalf("Partial = %+v, want 1/2 groups failed", sum.Partial)
+	}
+	if len(sum.Matches) == 0 {
+		t.Fatal("degraded stream carried no ranking from the surviving group")
+	}
+}

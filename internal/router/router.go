@@ -31,6 +31,7 @@ import (
 	"simsub/api"
 	"simsub/client"
 	"simsub/internal/engine"
+	"simsub/internal/failpoint"
 	"simsub/internal/traj"
 )
 
@@ -80,6 +81,23 @@ type Config struct {
 	// a hung node degrades to a Partial answer instead of pinning the
 	// query until the client deadline. Negative disables the bound.
 	NodeTimeout time.Duration
+	// BreakerThreshold is the run of consecutive degradable failures that
+	// trips a node's circuit breaker open (default 5). An open breaker
+	// ejects the node without a network attempt until BreakerCooldown
+	// passes, then admits a single half-open probe whose outcome closes or
+	// re-opens it. When every replica of a group is ejected the group is
+	// probed anyway — a request is the only signal that can close a
+	// breaker again.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker ejects its node before
+	// the next probe (default 2s).
+	BreakerCooldown time.Duration
+	// MergeReserve is the slice of a deadline-carrying request's budget the
+	// router holds back for its own merge and serialization work when
+	// deriving the per-node timeout_ms; a request whose remaining budget is
+	// already inside the reserve is rejected with a typed deadline_exceeded
+	// before any node is contacted (default 20ms).
+	MergeReserve time.Duration
 	// HTTPClient overrides the transport shared by the per-node clients.
 	HTTPClient *http.Client
 }
@@ -106,6 +124,15 @@ func (c *Config) fill() error {
 	if c.NodeTimeout == 0 {
 		c.NodeTimeout = 15 * time.Second
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.MergeReserve <= 0 {
+		c.MergeReserve = 20 * time.Millisecond
+	}
 	if c.Retry.BaseDelay <= 0 {
 		c.Retry.BaseDelay = 25 * time.Millisecond
 	}
@@ -122,6 +149,7 @@ type node struct {
 	c       *client.Client
 	rtt     *latencyTracker
 	healthy atomic.Bool
+	brk     *breaker
 
 	requests atomic.Int64
 	failures atomic.Int64
@@ -131,17 +159,40 @@ type node struct {
 
 // observe folds one finished request into the node's telemetry. A typed
 // deterministic rejection (invalid_argument, ...) still proves the node is
-// reachable, so only degradable failures mark it unhealthy.
+// reachable, so only degradable failures mark it unhealthy. A canceled
+// attempt (a hedge sibling won, the caller gave up) says nothing about the
+// node, so it counts as a failure but does not move the circuit breaker.
 func (n *node) observe(start time.Time, err error) {
 	n.requests.Add(1)
 	if err != nil && degradable(err) {
 		n.failures.Add(1)
 		n.healthy.Store(false)
+		if errors.Is(err, context.Canceled) {
+			n.brk.recordNeutral()
+		} else {
+			n.brk.record(true)
+		}
 		return
 	}
 	n.rtt.record(time.Since(start))
 	n.healthy.Store(true)
+	n.brk.record(false)
 }
+
+// transportFault evaluates the router/transport failpoint for one per-node
+// attempt: an injected error or connection drop is observed like a real
+// transport failure (it trips the breaker and triggers failover).
+func (n *node) transportFault(ctx context.Context, start time.Time) error {
+	err := failpoint.InjectCtx(ctx, fpTransport)
+	if err != nil {
+		n.observe(start, err)
+		return &nodeError{node: n.base, err: err}
+	}
+	return nil
+}
+
+// fpTransport is the failpoint in front of every per-node data-path call.
+const fpTransport = "router/transport"
 
 // group is one replica set: Replication nodes holding identical data.
 type group struct {
@@ -173,11 +224,12 @@ type Router struct {
 	mu         sync.RWMutex // guards placements and group.globals
 	placements []place
 
-	queries atomic.Int64
-	hedges  atomic.Int64
-	retries atomic.Int64
-	partial atomic.Int64
-	bounds  atomic.Int64
+	queries         atomic.Int64
+	hedges          atomic.Int64
+	retries         atomic.Int64
+	partial         atomic.Int64
+	bounds          atomic.Int64
+	deadlineRejects atomic.Int64
 }
 
 // New builds a Router over the configured fleet. It performs no I/O; the
@@ -192,7 +244,8 @@ func New(cfg Config) (*Router, error) {
 		g := &group{index: gi}
 		for ri := 0; ri < cfg.Replication; ri++ {
 			base := cfg.Nodes[gi*cfg.Replication+ri]
-			n := &node{base: base, group: gi, rtt: newLatencyTracker()}
+			n := &node{base: base, group: gi, rtt: newLatencyTracker(),
+				brk: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)}
 			n.healthy.Store(true)
 			retry := cfg.Retry
 			retry.OnRetry = func(error) {
@@ -247,7 +300,10 @@ func (r *Router) toGlobal(g *group, m engine.Match) (engine.Match, error) {
 // degrading to a partial answer (and is worth failing over to a replica):
 // timeouts, overload, transport and internal failures are; deterministic
 // typed rejections are not — every node would reject identically, so the
-// first rejection is the query's answer.
+// first rejection is the query's answer. A node's deadline_exceeded is in
+// the deterministic class: replicas hold the same corpus and similar cost
+// estimates, so failing over would burn the rest of the budget on an
+// attempt that is equally doomed.
 func degradable(err error) bool {
 	var abort *abortError
 	if errors.As(err, &abort) {
@@ -256,7 +312,7 @@ func degradable(err error) bool {
 	var ae *api.Error
 	if errors.As(err, &ae) {
 		switch ae.Code {
-		case api.CodeInvalidArgument, api.CodeNotFound, api.CodeTooLarge:
+		case api.CodeInvalidArgument, api.CodeNotFound, api.CodeTooLarge, api.CodeDeadlineExceeded:
 			return false
 		}
 	}
@@ -294,7 +350,10 @@ func (r *Router) attemptCtx(ctx context.Context) (context.Context, context.Cance
 // once the primary's latency-quantile delay expires (when hedging is on),
 // and further replicas on failure. The first success wins and cancels the
 // rest. Non-degradable errors — deterministic rejections and emit aborts —
-// return immediately: no replica would answer differently.
+// return immediately: no replica would answer differently. Replicas whose
+// circuit breaker rejects them are skipped — unless every replica is
+// ejected, in which case the primary is probed anyway (a request is the
+// only signal that can close a breaker again).
 func groupDo[T any](ctx context.Context, r *Router, g *group, hedge bool, fn func(context.Context, *node) (T, error)) (T, error) {
 	var zero T
 	start := int(g.rr.Add(1)-1) % len(g.replicas)
@@ -306,16 +365,26 @@ func groupDo[T any](ctx context.Context, r *Router, g *group, hedge bool, fn fun
 
 	if !hedge {
 		var lastErr error
-		for _, n := range order {
-			actx, cancel := r.attemptCtx(ctx)
-			v, err := fn(actx, n)
-			cancel()
-			if err == nil {
-				return v, nil
+		attempted := 0
+		for forced := false; ; forced = true {
+			for _, n := range order {
+				if !forced && !n.brk.allow() {
+					continue
+				}
+				attempted++
+				actx, cancel := r.attemptCtx(ctx)
+				v, err := fn(actx, n)
+				cancel()
+				if err == nil {
+					return v, nil
+				}
+				lastErr = err
+				if !degradable(err) || ctx.Err() != nil {
+					return zero, err
+				}
 			}
-			lastErr = err
-			if !degradable(err) || ctx.Err() != nil {
-				return zero, err
+			if attempted > 0 || forced {
+				break
 			}
 		}
 		return zero, lastErr
@@ -329,6 +398,7 @@ func groupDo[T any](ctx context.Context, r *Router, g *group, hedge bool, fn fun
 	defer cancel()
 	ch := make(chan outcome, len(order))
 	launched := 0
+	next := 0
 	launch := func(n *node, hedged bool) {
 		launched++
 		if hedged {
@@ -342,17 +412,32 @@ func groupDo[T any](ctx context.Context, r *Router, g *group, hedge bool, fn fun
 			ch <- outcome{v, err}
 		}()
 	}
-	launch(order[0], false)
-	timer := time.NewTimer(r.hedgeDelay(order[0]))
+	// launchNext starts the next replica whose breaker admits it, or
+	// reports nil when none is left.
+	launchNext := func(hedged bool) *node {
+		for next < len(order) {
+			n := order[next]
+			next++
+			if n.brk.allow() {
+				launch(n, hedged)
+				return n
+			}
+		}
+		return nil
+	}
+	primary := launchNext(false)
+	if primary == nil {
+		primary = order[0] // every breaker is open: forced probe
+		launch(primary, false)
+	}
+	timer := time.NewTimer(r.hedgeDelay(primary))
 	defer timer.Stop()
 	var lastErr error
 	returned := 0
 	for {
 		select {
 		case <-timer.C:
-			if launched < len(order) {
-				launch(order[launched], true)
-			}
+			launchNext(true)
 		case o := <-ch:
 			returned++
 			if o.err == nil {
@@ -365,9 +450,7 @@ func groupDo[T any](ctx context.Context, r *Router, g *group, hedge bool, fn fun
 			if !degradable(o.err) && ctx.Err() == nil {
 				return zero, o.err
 			}
-			if launched < len(order) {
-				launch(order[launched], false)
-			} else if returned == launched {
+			if launchNext(false) == nil && returned == launched {
 				return zero, lastErr
 			}
 		case <-ctx.Done():
@@ -456,6 +539,10 @@ func (r *Router) loadGroup(ctx context.Context, g *group, bucket []api.Trajector
 		go func(ri int, n *node) {
 			defer wg.Done()
 			start := time.Now()
+			if ferr := n.transportFault(ctx, start); ferr != nil {
+				errs[ri] = ferr
+				return
+			}
 			resp, err := n.c.Load(ctx, bucket)
 			n.observe(start, err)
 			if err != nil {
@@ -487,6 +574,9 @@ func (r *Router) GetTrajectory(ctx context.Context, id int) (*api.TrajectoryReco
 	g := r.groups[pl.group]
 	rec, err := groupDo(ctx, r, g, true, func(ctx context.Context, n *node) (*api.TrajectoryRecord, error) {
 		start := time.Now()
+		if ferr := n.transportFault(ctx, start); ferr != nil {
+			return nil, ferr
+		}
 		rec, err := n.c.GetTrajectory(ctx, int(pl.local))
 		n.observe(start, err)
 		return rec, err

@@ -56,14 +56,20 @@ func (h *streamGate) offer(m engine.Match) bool {
 // streamGroup streams one spec from one replica group (failover, no
 // hedging — a duplicated stream would duplicate provisional matches),
 // forwarding each provisional match in router-global ID space, and returns
-// the group's authoritative top-k list translated to global IDs.
-func (r *Router) streamGroup(ctx context.Context, g *group, spec api.QuerySpec, forward func(engine.Match) error) ([]engine.Match, bool, error) {
+// the group's authoritative top-k list translated to global IDs. Deadline
+// budgets propagate through the client, which forwards the attempt
+// context's deadline (shaved) as the node-side timeout_ms.
+func (r *Router) streamGroup(ctx context.Context, g *group, spec api.QuerySpec, forward func(engine.Match) error) ([]engine.Match, bool, *api.Degraded, error) {
 	type answer struct {
 		ms     []engine.Match
 		cached bool
+		deg    *api.Degraded
 	}
 	a, err := groupDo(ctx, r, g, false, func(ctx context.Context, n *node) (answer, error) {
 		start := time.Now()
+		if ferr := n.transportFault(ctx, start); ferr != nil {
+			return answer{}, ferr
+		}
 		sum, err := n.c.QueryStream(ctx, spec, func(wm api.Match) error {
 			gm, terr := r.toGlobal(g, engine.MatchFromAPI(wm))
 			if terr != nil {
@@ -83,9 +89,9 @@ func (r *Router) streamGroup(ctx context.Context, g *group, spec api.QuerySpec, 
 			}
 			ms[i] = gm
 		}
-		return answer{ms: ms, cached: sum.Cached}, nil
+		return answer{ms: ms, cached: sum.Cached, deg: sum.Degraded}, nil
 	})
-	return a.ms, a.cached, err
+	return a.ms, a.cached, a.deg, err
 }
 
 // QueryStream implements api.StreamSearcher across the fleet: per-node
@@ -100,6 +106,9 @@ func (r *Router) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 	start := time.Now()
 	spec = spec.WithDefaults()
 	if aerr := r.validateSpec(spec); aerr != nil {
+		return nil, aerr
+	}
+	if aerr := r.checkBudget(ctx); aerr != nil {
 		return nil, aerr
 	}
 	r.queries.Add(1)
@@ -132,11 +141,12 @@ func (r *Router) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 		rest = make([]int, 0, len(active)-1)
 		rest = append(rest, active[:pi]...)
 		rest = append(rest, active[pi+1:]...)
-		ms, cached, err := r.streamGroup(ctx, r.groups[gi], nodeSpec(spec, bound, counts[gi]), forward)
+		ms, cached, deg, err := r.streamGroup(ctx, r.groups[gi], nodeSpec(spec, bound, counts[gi]), forward)
 		switch {
 		case err == nil:
 			g.lists = append(g.lists, ms)
 			g.cached = g.cached && cached
+			g.noteDegraded(deg)
 			if len(ms) >= spec.K {
 				bound = tighten(bound, ms[spec.K-1].Result.Dist)
 			}
@@ -157,6 +167,7 @@ func (r *Router) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 	type groupOut struct {
 		ms     []engine.Match
 		cached bool
+		deg    *api.Degraded
 		err    error
 	}
 	cctx, cancel := context.WithCancel(ctx)
@@ -168,7 +179,7 @@ func (r *Router) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 		wg.Add(1)
 		go func(i, gi int) {
 			defer wg.Done()
-			ms, cached, err := r.streamGroup(cctx, r.groups[gi], nodeSpec(spec, bound, counts[gi]), func(gm engine.Match) error {
+			ms, cached, deg, err := r.streamGroup(cctx, r.groups[gi], nodeSpec(spec, bound, counts[gi]), func(gm engine.Match) error {
 				select {
 				case ch <- gm:
 					return nil
@@ -176,7 +187,7 @@ func (r *Router) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 					return cctx.Err()
 				}
 			})
-			outs[i] = groupOut{ms: ms, cached: cached, err: err}
+			outs[i] = groupOut{ms: ms, cached: cached, deg: deg, err: err}
 		}(i, gi)
 	}
 	go func() { wg.Wait(); close(ch) }()
@@ -199,6 +210,7 @@ func (r *Router) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 		case o.err == nil:
 			g.lists = append(g.lists, o.ms)
 			g.cached = g.cached && o.cached
+			g.noteDegraded(o.deg)
 		case !degradable(o.err):
 			return nil, unwrapAbort(o.err)
 		default:
@@ -217,12 +229,13 @@ func (r *Router) QueryStream(ctx context.Context, spec api.QuerySpec, emit func(
 	}
 	page := pageOf(full, spec.Offset, spec.Limit)
 	return &api.StreamSummary{
-		Matches: engine.MatchesToAPI(page),
-		Total:   len(full),
-		Cached:  g.cached,
-		Emitted: emitted,
-		Partial: partial,
-		TookMS:  tookMS(start),
+		Matches:  engine.MatchesToAPI(page),
+		Total:    len(full),
+		Cached:   g.cached,
+		Emitted:  emitted,
+		Partial:  partial,
+		Degraded: g.degraded,
+		TookMS:   tookMS(start),
 	}, nil
 }
 

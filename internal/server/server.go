@@ -34,12 +34,15 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"simsub/api"
 	"simsub/internal/core"
 	"simsub/internal/engine"
+	"simsub/internal/failpoint"
 	"simsub/internal/sim"
 	"simsub/internal/traj"
 )
@@ -57,6 +60,11 @@ type Options struct {
 	MaxSearches int
 	// MaxBatchSpecs caps the specs per /v2/query batch (default 256).
 	MaxBatchSpecs int
+	// EnableFailpoints exposes the /v2/admin/failpoints endpoint (and honors
+	// the server/request fault site). Off by default: a production fleet
+	// cannot be chaos-tested by accident — arm it with the -failpoints flag
+	// or the SIMSUB_FAILPOINTS_ADMIN env var of simsubd.
+	EnableFailpoints bool
 }
 
 func (o *Options) fill() {
@@ -86,6 +94,17 @@ type Server struct {
 	// its persistent log on boot (see SetReady).
 	ready    atomic.Bool
 	recovery atomic.Pointer[api.RecoveryInfo]
+
+	// draining gates the load endpoints during graceful shutdown: once set,
+	// new loads are rejected and Drain waits out the in-flight ones, so the
+	// final snapshot+fsync can never race a batched commit still streaming
+	// in. loadMu orders the draining check against the active-load count:
+	// an admit either lands before Drain reads the count or observes
+	// draining and rejects — never neither.
+	draining   atomic.Bool
+	loadMu     sync.Mutex
+	loadActive int
+	loadIdle   chan struct{}
 }
 
 // New builds a server over the engine. It starts ready; a process that
@@ -112,6 +131,9 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v2/admin/policy", s.handlePolicySwap)
 	s.mux.HandleFunc("GET /v2/admin/policy", s.handlePolicyGet)
+	if opts.EnableFailpoints {
+		s.mux.Handle("/v2/admin/failpoints", FailpointsHandler())
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -143,6 +165,16 @@ func (s *Server) gate(w http.ResponseWriter) bool {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.opts.EnableFailpoints {
+		if err := failpoint.InjectCtx(r.Context(), "server/request"); err != nil {
+			if errors.Is(err, failpoint.ErrDrop) {
+				// sever the connection without a response, as a dying node would
+				panic(http.ErrAbortHandler)
+			}
+			writeErr(w, api.Errorf(api.CodeInternal, "%v", err))
+			return
+		}
+	}
 	// the streaming bulk-ingest endpoint is exempt from the body cap: it
 	// decodes incrementally and never buffers the corpus, so its size is
 	// bounded by the store, not by memory
@@ -150,6 +182,64 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting new load requests (they answer 503 overloaded with
+// a Retry-After) and waits for the in-flight ones to commit, or for ctx to
+// expire. Call it BEFORE http.Server.Shutdown and the store's final
+// snapshot: connection drain alone cannot order an in-flight streaming
+// bulk load's batched commit before the snapshot's fsync.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	idle := make(chan struct{})
+	s.loadMu.Lock()
+	if s.loadActive == 0 {
+		s.loadMu.Unlock()
+		return nil
+	}
+	s.loadIdle = idle
+	s.loadMu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admitLoad gates a load request behind the drain and load-shedding
+// states, registering it in the active-load count on success; the caller
+// must `defer s.endLoad()`.
+func (s *Server) admitLoad(w http.ResponseWriter) bool {
+	reject := func(ae *api.Error) bool {
+		ae.RetryAfterMS = int(s.eng.RetryAfterHint().Milliseconds())
+		writeErr(w, ae)
+		return false
+	}
+	if s.eng.Shedding() {
+		// loads shed first: bulk ingestion is the most deferrable work
+		return reject(api.Errorf(api.CodeOverloaded, "shedding bulk loads while queries are backed up"))
+	}
+	s.loadMu.Lock()
+	if s.draining.Load() {
+		s.loadMu.Unlock()
+		return reject(api.Errorf(api.CodeOverloaded, "node is draining for shutdown"))
+	}
+	s.loadActive++
+	s.loadMu.Unlock()
+	return true
+}
+
+// endLoad retires one admitted load, waking a pending Drain when the last
+// one finishes.
+func (s *Server) endLoad() {
+	s.loadMu.Lock()
+	s.loadActive--
+	if s.loadActive == 0 && s.loadIdle != nil {
+		close(s.loadIdle)
+		s.loadIdle = nil
+	}
+	s.loadMu.Unlock()
 }
 
 // Trajectory is the wire form of a trajectory (see api.Trajectory).
@@ -162,7 +252,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeErr renders the typed error envelope with its mapped HTTP status.
+// Every overloaded (503) response carries a Retry-After header: the
+// error's drain-rate-derived hint when it has one, a conservative 1s
+// otherwise.
 func writeErr(w http.ResponseWriter, ae *api.Error) {
+	if ae.Code == api.CodeOverloaded {
+		if ae.RetryAfterMS <= 0 {
+			cp := *ae
+			cp.RetryAfterMS = 1000
+			ae = &cp
+		}
+		w.Header().Set("Retry-After", strconv.Itoa((ae.RetryAfterMS+999)/1000))
+	}
 	writeJSON(w, ae.HTTPStatus(), api.ErrorResponse{Err: *ae})
 }
 
@@ -201,6 +302,10 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if !s.gate(w) {
 		return
 	}
+	if !s.admitLoad(w) {
+		return
+	}
+	defer s.endLoad()
 	var req loadRequest
 	if !decode(w, r, &req) {
 		return
@@ -243,6 +348,10 @@ func (s *Server) handleLoadStream(w http.ResponseWriter, r *http.Request) {
 	if !s.gate(w) {
 		return
 	}
+	if !s.admitLoad(w) {
+		return
+	}
+	defer s.endLoad()
 	start := time.Now()
 	dec := json.NewDecoder(r.Body)
 	batch := make([]traj.Trajectory, 0, streamLoadBatch)
@@ -449,6 +558,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CandidatesSeen:            es.CandidatesSeen,
 			LBSkipped:                 es.LBSkipped,
 			EarlyAbandoned:            es.EarlyAbandoned,
+			Shed:                      es.Shed,
+			ShedExpensive:             es.ShedExpensive,
+			DeadlineRejects:           es.DeadlineRejects,
+			DegradedQueries:           es.DegradedQueries,
+			QueueDepth:                es.QueueDepth,
+			QueueWaitMS:               es.QueueWaitMS,
+			Shedding:                  es.Shedding,
 			PolicyLoaded:              es.PolicyLoaded,
 			PolicyName:                es.PolicyName,
 			PolicyFingerprint:         es.PolicyFingerprint,

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"simsub/internal/core"
+	"simsub/internal/failpoint"
 	"simsub/internal/geo"
 	"simsub/internal/traj"
 )
@@ -71,6 +72,10 @@ func (s *Store) writeSnapshot(recs []Record) error {
 		return err
 	}
 	final := filepath.Join(s.dir, snapName(len(recs)))
+	if err := failpoint.Inject(fpSnapRename); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: committing snapshot: %w", err)
+	}
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("storage: committing snapshot: %w", err)

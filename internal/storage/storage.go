@@ -49,8 +49,30 @@ import (
 	"time"
 
 	"simsub/internal/core"
+	"simsub/internal/failpoint"
 	"simsub/internal/traj"
 )
+
+// Fault sites of the chaos suite (internal/failpoint), all no-ops unless a
+// test or operator arms them: fpAppend fails an append before any byte is
+// written, fpAppendPartial tears the append's batch buffer mid-write
+// (exactly the torn tail a crash leaves — the store must be reopened to
+// recover, like after a real crash), fpFsync fails segment fsyncs, and
+// fpSnapRename fails the snapshot's atomic commit rename.
+const (
+	fpAppend        = "storage/append"
+	fpAppendPartial = "storage/append-partial"
+	fpFsync         = "storage/fsync"
+	fpSnapRename    = "storage/snapshot-rename"
+)
+
+// syncFile fsyncs f through the fpFsync fault site.
+func syncFile(f *os.File) error {
+	if err := failpoint.Inject(fpFsync); err != nil {
+		return err
+	}
+	return f.Sync()
+}
 
 // Options tunes a Store. The zero value selects the documented defaults.
 type Options struct {
@@ -283,7 +305,7 @@ func (s *Store) newSegment(idx int) error {
 
 // roll seals the active segment (fsync + close) and starts the next one.
 func (s *Store) roll() error {
-	if err := s.active.Sync(); err != nil {
+	if err := syncFile(s.active); err != nil {
 		return fmt.Errorf("storage: sealing segment %d: %w", s.activeIdx, err)
 	}
 	if err := s.active.Close(); err != nil {
@@ -318,12 +340,22 @@ func (s *Store) Append(ts []traj.Trajectory) ([]Record, error) {
 			return nil, err
 		}
 	}
+	if err := failpoint.Inject(fpAppend); err != nil {
+		return nil, fmt.Errorf("storage: appending %d records: %w", len(ts), err)
+	}
+	if n := failpoint.Partial(fpAppendPartial, len(buf)); n < len(buf) {
+		// a torn write, exactly as a crash mid-append leaves it: some bytes
+		// of the batch reach the file, the caller is never acked, and the
+		// tail is truncated away on the next Open
+		_, _ = s.active.Write(buf[:n])
+		return nil, fmt.Errorf("storage: appending %d records: torn write after %d/%d bytes (injected)", len(ts), n, len(buf))
+	}
 	if _, err := s.active.Write(buf); err != nil {
 		return nil, fmt.Errorf("storage: appending %d records: %w", len(ts), err)
 	}
 	s.activeSize += int64(len(buf))
 	if s.opts.SyncEveryAppend {
-		if err := s.active.Sync(); err != nil {
+		if err := syncFile(s.active); err != nil {
 			return nil, fmt.Errorf("storage: fsync after append: %w", err)
 		}
 	}
@@ -357,7 +389,7 @@ func (s *Store) Sync() error {
 	if s.closed {
 		return errors.New("storage: store is closed")
 	}
-	return s.active.Sync()
+	return syncFile(s.active)
 }
 
 // Snapshot durably persists the derived metadata of every current record,
@@ -427,7 +459,7 @@ func (s *Store) Close() error {
 		errs = append(errs, snapErr)
 	}
 	if s.active != nil {
-		if err := s.active.Sync(); err != nil {
+		if err := syncFile(s.active); err != nil {
 			errs = append(errs, err)
 		}
 		if err := s.active.Close(); err != nil {
