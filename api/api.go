@@ -31,6 +31,9 @@ const (
 	DefaultTopKAlgorithm = "pss"
 	// DefaultSearchAlgorithm is the /v1/search default (exact pairwise).
 	DefaultSearchAlgorithm = "exacts"
+	// DefaultANNProbes is the multi-probe width used when an ANNSpec omits
+	// probes.
+	DefaultANNProbes = 2
 )
 
 // Trajectory is the wire form of a trajectory: points are [x, y] pairs or
@@ -114,6 +117,18 @@ type QuerySpec struct {
 	// substitutes algorithms.
 	AllowDegraded bool `json:"allow_degraded,omitempty"`
 
+	// ANN, when set, swaps candidate generation from the exhaustive
+	// spatial enumeration to an approximate embedding prefilter: the
+	// server's per-shard LSH index proposes about Candidates trajectories
+	// by embedding distance and the requested measure/algorithm reranks
+	// only those, exactly. Retained matches carry distances byte-identical
+	// to scoring the same candidates without the prefilter; the only
+	// approximation is that a true top-k member absent from the candidate
+	// set is missed. Requires an encoder registered on the server
+	// (simsubd -encoder or POST /v2/admin/encoder); without one the spec
+	// fails as invalid_argument.
+	ANN *ANNSpec `json:"ann,omitempty"`
+
 	// Filter, when set, restricts the search to trajectories whose MBR
 	// intersects it; the restriction is pushed down to the per-shard
 	// indexes.
@@ -127,6 +142,19 @@ type QuerySpec struct {
 	Offset int `json:"offset,omitempty"`
 	// Limit caps the number of returned matches (0 = to the end).
 	Limit int `json:"limit,omitempty"`
+}
+
+// ANNSpec tunes the approximate candidate prefilter (QuerySpec.ANN).
+type ANNSpec struct {
+	// Candidates is the total candidate budget: the prefilter proposes
+	// about this many trajectories for exact reranking. Required,
+	// positive. Larger budgets raise recall and cost.
+	Candidates int `json:"candidates"`
+	// Probes is the multi-probe width per LSH table (default
+	// DefaultANNProbes): 1 visits only each table's home bucket, higher
+	// values add the nearest perturbed buckets, raising recall at slightly
+	// higher index cost.
+	Probes int `json:"probes,omitempty"`
 }
 
 // Query is the body of POST /v2/query: a batch of specs executed
@@ -377,6 +405,22 @@ type Stats struct {
 	MeanRank        float64 `json:"mean_rank"`
 	SkippedFraction float64 `json:"skipped_fraction"`
 
+	// Embedding serving state: whether a trajectory encoder is registered
+	// (enabling the "embed" algorithm and the ann prefilter), its
+	// dimensionality / token grid / content fingerprint, how many queries
+	// used the ann prefilter, and the sampled recall telemetry — for a
+	// sampled fraction of ann-prefiltered queries the server reruns the
+	// same search over the exhaustive candidate set and records the top-k
+	// overlap (recall@k); MeanRecall is the lifetime mean of those samples
+	// (0 while none was taken).
+	EncoderLoaded      bool    `json:"encoder_loaded"`
+	EncoderFingerprint string  `json:"encoder_fingerprint,omitempty"`
+	EncoderDim         int     `json:"encoder_dim,omitempty"`
+	EncoderGrid        int     `json:"encoder_grid,omitempty"`
+	ANNQueries         int64   `json:"ann_queries"`
+	RecallSamples      int64   `json:"recall_samples"`
+	MeanRecall         float64 `json:"mean_recall"`
+
 	// Overload-resilience counters: queries rejected by adaptive admission
 	// control (Shed, of which ShedExpensive were unbounded exact scans or
 	// stream loads — the classes shed first), queries rejected early
@@ -423,6 +467,29 @@ type PolicyInfo struct {
 	CompileResolution   int     `json:"compile_resolution,omitempty"`
 	CompileDivergence   float64 `json:"compile_divergence,omitempty"`
 	CompiledFingerprint string  `json:"compiled_fingerprint,omitempty"`
+}
+
+// EncoderSwapRequest is the body of POST /v2/admin/encoder: exactly one of
+// Path (a server-local encoder file, for operators colocated with the
+// daemon) or EncoderB64 (the encoder file's bytes, base64, for remote
+// admin and the coordinator's broadcast) must be set. The new encoder is
+// validated before it replaces the old one; a rejected swap leaves the
+// previous registration serving. A successful swap re-embeds the stored
+// corpus, rebuilds the per-shard ANN indexes and purges the result cache.
+type EncoderSwapRequest struct {
+	Path       string `json:"path,omitempty"`
+	EncoderB64 string `json:"encoder_b64,omitempty"`
+}
+
+// EncoderInfo answers GET and POST /v2/admin/encoder: the registered
+// trajectory encoder's embedding dimensionality, token-grid resolution
+// (0 for coordinate-input encoders) and content fingerprint. The
+// coordinator verifies fleet-wide fingerprint agreement after a broadcast
+// swap.
+type EncoderInfo struct {
+	Dim         int    `json:"dim"`
+	Grid        int    `json:"grid,omitempty"`
+	Fingerprint string `json:"fingerprint"`
 }
 
 // StatsResponse answers GET /v1/stats and GET /v2/stats.

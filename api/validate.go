@@ -69,14 +69,38 @@ func (s QuerySpec) ValidateBound() *Error {
 	return nil
 }
 
+// ValidateANN checks the spec's optional ANN prefilter knob: the
+// candidate budget must be positive and the probe width non-negative
+// (0 means "use the default", filled by WithDefaults).
+func (s QuerySpec) ValidateANN() *Error {
+	if s.ANN == nil {
+		return nil
+	}
+	if s.ANN.Candidates <= 0 {
+		return Errorf(CodeInvalidArgument, "ann.candidates must be positive, got %d", s.ANN.Candidates)
+	}
+	if s.ANN.Probes < 0 {
+		return Errorf(CodeInvalidArgument, "ann.probes must be non-negative, got %d", s.ANN.Probes)
+	}
+	return nil
+}
+
 // WithDefaults returns the spec with empty measure/algorithm names filled
-// in (DefaultMeasure, DefaultTopKAlgorithm).
+// in (DefaultMeasure, DefaultTopKAlgorithm) and, when the ANN prefilter
+// is requested, its probe width defaulted (DefaultANNProbes). The ANN
+// spec is copied before the default is applied, so the caller's spec is
+// never mutated through the shared pointer.
 func (s QuerySpec) WithDefaults() QuerySpec {
 	if s.Measure == "" {
 		s.Measure = DefaultMeasure
 	}
 	if s.Algorithm == "" {
 		s.Algorithm = DefaultTopKAlgorithm
+	}
+	if s.ANN != nil && s.ANN.Probes == 0 {
+		ann := *s.ANN
+		ann.Probes = DefaultANNProbes
+		s.ANN = &ann
 	}
 	return s
 }

@@ -390,6 +390,32 @@ func (c *Client) Policy(ctx context.Context) (*api.PolicyInfo, error) {
 	return &out, nil
 }
 
+// SwapEncoder registers a new t2vec trajectory encoder on the server
+// (POST /v2/admin/encoder), enabling — or hot-swapping — the "ann"
+// prefilter and the "embed" ranking. The request names a server-local file
+// path or carries the encoder bytes inline (base64); the returned info
+// carries the new encoder's dimension, token grid and content fingerprint.
+// Invalid encoders are rejected with a typed invalid_argument error and
+// leave the previous registration serving.
+func (c *Client) SwapEncoder(ctx context.Context, req api.EncoderSwapRequest) (*api.EncoderInfo, error) {
+	var out api.EncoderInfo
+	if err := c.roundTrip(ctx, http.MethodPost, "/v2/admin/encoder", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Encoder fetches the registered encoder's description (GET
+// /v2/admin/encoder); a server with no encoder loaded returns a typed
+// not_found error.
+func (c *Client) Encoder(ctx context.Context) (*api.EncoderInfo, error) {
+	var out api.EncoderInfo
+	if err := c.roundTrip(ctx, http.MethodGet, "/v2/admin/encoder", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Stats fetches the engine and server counters.
 func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	var out api.StatsResponse

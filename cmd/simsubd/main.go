@@ -11,6 +11,7 @@
 //	simsubd -addr :8080 -shards 8 -workers 16 -cache 4096
 //	simsubd -addr :8080 -data porto.csv -index grid
 //	simsubd -addr :8080 -policy skip.policy -quality-sample 0.01
+//	simsubd -addr :8080 -encoder t2vec.model -recall-sample 0.05
 //	simsubd -addr :8080 -data-dir /var/lib/simsub -snapshot-interval 5m
 //
 // Endpoints: POST /v2/query (batched specs), POST /v2/query/stream (NDJSON
@@ -40,6 +41,7 @@ import (
 	"simsub/internal/rl"
 	"simsub/internal/server"
 	"simsub/internal/storage"
+	"simsub/internal/t2vec"
 	"simsub/internal/traj"
 )
 
@@ -60,6 +62,8 @@ func main() {
 		policyRes  = flag.Int("policy-compile", 0, "compile the -policy network onto a dense action table at this grid resolution (0 = serve the network directly)")
 		batchLanes = flag.Int("batch-lanes", 0, "lockstep lanes per shard scan for the learned searches (0 = default 64, 1 = sequential)")
 		qualitySam = flag.Float64("quality-sample", 0, "fraction of learned-search queries re-scored against the exact ranking for serving-quality stats")
+		encPath    = flag.String("encoder", "", "optional t2vec encoder file (cmd/train -mode t2vec) enabling the ann prefilter and the embed algorithm")
+		recallSam  = flag.Float64("recall-sample", 0, "fraction of ann-prefiltered queries re-scored against the exhaustive candidate scan for recall stats")
 		failpoints = flag.Bool("failpoints", false, "expose /v2/admin/failpoints for runtime fault injection (chaos testing only)")
 	)
 	flag.Parse()
@@ -88,6 +92,7 @@ func main() {
 		CacheSize:     *cacheSize,
 		Index:         kind,
 		QualitySample: *qualitySam,
+		RecallSample:  *recallSam,
 		BatchLanes:    *batchLanes,
 	})
 	if *policyRes != 0 && *policyPath == "" {
@@ -109,6 +114,21 @@ func main() {
 		} else {
 			log.Printf("serving %s policy from %s (k=%d, fingerprint %s)", info.Name, *policyPath, info.K, info.Fingerprint)
 		}
+	}
+	// The encoder registers BEFORE the store attaches: recovery then finds
+	// the fingerprint of the snapshot's persisted embeddings matching the
+	// registered encoder and reuses them instead of re-encoding the corpus.
+	if *encPath != "" {
+		m, err := t2vec.LoadFile(*encPath)
+		if err != nil {
+			log.Fatalf("loading encoder %s: %v", *encPath, err)
+		}
+		info, err := eng.SetEncoder(m)
+		if err != nil {
+			log.Fatalf("registering encoder %s: %v", *encPath, err)
+		}
+		log.Printf("serving t2vec encoder from %s (dim %d, grid %d, fingerprint %s)",
+			*encPath, info.Dim, info.Grid, info.Fingerprint)
 	}
 
 	handler := server.New(eng, server.Options{MaxTimeout: *timeout, EnableFailpoints: *failpoints})

@@ -35,8 +35,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "output model/policy file (required)")
 
-		hidden = flag.Int("hidden", 16, "t2vec embedding width")
-		epochs = flag.Int("epochs", 5, "t2vec training epochs")
+		hidden   = flag.Int("hidden", 16, "t2vec embedding width")
+		epochs   = flag.Int("epochs", 5, "t2vec training epochs")
+		grid     = flag.Int("grid", 0, "t2vec: token lattice resolution (0 = feed raw normalized coordinates)")
+		embedDim = flag.Int("embed-dim", 0, "t2vec: token-embedding width when -grid > 0 (0 = default)")
+		maxLen   = flag.Int("maxlen", 0, "t2vec: truncate training trajectories for bounded BPTT (0 = default)")
+		lr       = flag.Float64("lr", 0, "t2vec: Adam learning rate (0 = default)")
 
 		measureName = flag.String("measure", "dtw", "rls: similarity measure (dtw, frechet, t2vec, ...)")
 		modelPath   = flag.String("t2vec-model", "", "rls: t2vec model file when -measure t2vec")
@@ -63,6 +67,7 @@ func main() {
 	case "t2vec":
 		model, stats, err := t2vec.Train(ts, t2vec.TrainConfig{
 			Hidden: *hidden, Epochs: *epochs, Seed: *seed, Verbose: verbose,
+			TokenGrid: *grid, EmbedDim: *embedDim, MaxLen: *maxLen, LR: *lr,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -70,8 +75,23 @@ func main() {
 		if err := model.SaveFile(*out); err != nil {
 			log.Fatal(err)
 		}
+		// round-trip verification, mirroring the rls path: the file a simsubd
+		// -encoder flag (or POST /v2/admin/encoder) will read must reload and
+		// embed identically to the in-memory model
+		reloaded, err := t2vec.LoadFile(*out)
+		if err != nil {
+			log.Fatalf("verifying saved encoder %s: %v", *out, err)
+		}
+		want, got := model.Embed(ts[0]), reloaded.Embed(ts[0])
+		for i := range want {
+			if want[i] != got[i] {
+				log.Fatalf("verifying saved encoder %s: reloaded embedding diverges at dim %d (%g != %g)",
+					*out, i, got[i], want[i])
+			}
+		}
 		last := stats.EpochLoss[len(stats.EpochLoss)-1]
-		fmt.Fprintf(os.Stderr, "saved t2vec model to %s (final loss %.6f)\n", *out, last)
+		fmt.Fprintf(os.Stderr, "saved t2vec encoder to %s (dim %d, grid %d, final loss %.6f; reload probe ok)\n",
+			*out, reloaded.Dim(), reloaded.Grid(), last)
 
 	case "rls":
 		m, err := resolveMeasure(*measureName, *modelPath)

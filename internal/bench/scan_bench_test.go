@@ -148,5 +148,6 @@ func TestMain(m *testing.M) {
 	writeScanJSON()
 	writeRLSJSON()
 	writeIngestJSON()
+	writeANNJSON()
 	os.Exit(code)
 }

@@ -171,9 +171,16 @@ func (s *rlsBatchSearch) Release() {
 // differ. Algorithms without a batched path — or lanes < 2 — fall back to
 // the sequential scan.
 func (db *Database) TopKPrunedBatchCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *SharedKth, st *PruneStats, lanes int) ([]Match, error) {
+	return db.TopKPrunedBatchSourceCtx(ctx, alg, q, k, filter, shared, st, nil, lanes)
+}
+
+// TopKPrunedBatchSourceCtx is TopKPrunedBatchCtx over src's candidates
+// (nil = the spatial enumeration); see TopKPrunedSourceCtx for the
+// approximate-source semantics.
+func (db *Database) TopKPrunedBatchSourceCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *SharedKth, st *PruneStats, src CandidateSource, lanes int) ([]Match, error) {
 	bs, ok := alg.(BatchThresholdSearcher)
 	if !ok || lanes < 2 {
-		return db.TopKPrunedCtx(ctx, alg, q, k, filter, shared, st)
+		return db.TopKPrunedSourceCtx(ctx, alg, q, k, filter, shared, st, src)
 	}
 	if st == nil {
 		st = &PruneStats{}
@@ -199,7 +206,7 @@ func (db *Database) TopKPrunedBatchCtx(ctx context.Context, alg Algorithm, q tra
 			}
 		}
 	}
-	for _, ci := range db.CandidatesFiltered(q, filter) {
+	for _, ci := range db.candidatesFrom(src, q, filter) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -43,6 +43,12 @@ type TrajMeta struct {
 	MBR geo.Rect
 	// Rev is the reversed trajectory (suffix-state scans run over it).
 	Rev traj.Trajectory
+	// Emb is the trajectory's embedding under the engine's registered
+	// encoder, or nil/empty when no encoder is registered. Its length must
+	// equal the encoder's Dim; consumers treat a mismatched length as
+	// "not embedded" (a stale vector from a swapped-out encoder must never
+	// be compared).
+	Emb []float64
 }
 
 // Thresholder yields a scan's current best-so-far bound: the running
@@ -477,6 +483,15 @@ func (s *SharedKth) down(i int) {
 // that do not implement ThresholdSearcher are scanned unpruned. st, when
 // non-nil, receives the scan's pruning counters; it is not synchronized.
 func (db *Database) ScanPrunedCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, filter *geo.Rect, th Thresholder, st *PruneStats, fn func(Match) error) error {
+	return db.ScanPrunedSourceCtx(ctx, alg, q, filter, th, st, nil, fn)
+}
+
+// ScanPrunedSourceCtx is ScanPrunedCtx with the candidate enumeration
+// swapped for src (nil = the Database's spatial enumeration, making it
+// exactly ScanPrunedCtx). The threshold pipeline is identical whatever the
+// source: each candidate the source yields flows through the lower-bound
+// cascade, the abandoning search and the result post-filter unchanged.
+func (db *Database) ScanPrunedSourceCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, filter *geo.Rect, th Thresholder, st *PruneStats, src CandidateSource, fn func(Match) error) error {
 	if st == nil {
 		st = &PruneStats{}
 	}
@@ -485,15 +500,25 @@ func (db *Database) ScanPrunedCtx(ctx context.Context, alg Algorithm, q traj.Tra
 	}
 	ts, ok := alg.(ThresholdSearcher)
 	if !ok {
-		return db.ScanFilteredCtx(ctx, alg, q, filter, func(m Match) error {
+		for _, ci := range db.candidatesFrom(src, q, filter) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			t := db.be.Traj(ci)
+			if t.Len() == 0 {
+				continue
+			}
 			st.Candidates++
 			st.Scored++
-			return fn(m)
-		})
+			if err := fn(Match{TrajIndex: ci, Result: alg.Search(t, q)}); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	search := ts.NewThresholdSearch(q)
 	defer search.Release()
-	for _, ci := range db.CandidatesFiltered(q, filter) {
+	for _, ci := range db.candidatesFrom(src, q, filter) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -526,13 +551,22 @@ func (db *Database) ScanPrunedCtx(ctx context.Context, alg Algorithm, q traj.Tra
 // shared so concurrent scans tighten each other. The ranking is
 // byte-identical to the unpruned scan's.
 func (db *Database) TopKPrunedCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *SharedKth, st *PruneStats) ([]Match, error) {
+	return db.TopKPrunedSourceCtx(ctx, alg, q, k, filter, shared, st, nil)
+}
+
+// TopKPrunedSourceCtx is TopKPrunedCtx over src's candidates (nil = the
+// spatial enumeration). With an approximate source the result is the exact
+// top-k OF THE CANDIDATES THE SOURCE RETURNED — every retained match
+// carries the same exact distance the spatial scan would have computed for
+// it, but trajectories the source omitted are simply absent.
+func (db *Database) TopKPrunedSourceCtx(ctx context.Context, alg Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *SharedKth, st *PruneStats, src CandidateSource) ([]Match, error) {
 	h := topKHeap{k: k}
 	var extern Thresholder
 	if shared != nil {
 		extern = shared
 	}
 	th := heapThresholder{h: &h, extern: extern}
-	if err := db.ScanPrunedCtx(ctx, alg, q, filter, &th, st, func(m Match) error {
+	if err := db.ScanPrunedSourceCtx(ctx, alg, q, filter, &th, st, src, func(m Match) error {
 		h.offer(m)
 		if shared != nil {
 			shared.Offer(m.Result.Dist)

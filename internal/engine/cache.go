@@ -41,12 +41,21 @@ type cacheKey struct {
 	bound    float64
 	hasBound bool
 	policy   uint64
-	digest   uint64
+	// ANN-prefiltered rankings depend on the candidate budget, the probe
+	// width and the encoder that embedded the corpus, so all three are
+	// keyed; encoder is the encoder fingerprint (0 = no prefilter),
+	// playing the same role for hot encoder swaps as the policy
+	// fingerprint does for policy swaps.
+	encoder   uint64
+	annCands  int
+	annProbes int
+	digest    uint64
 }
 
-// cacheKeyFor derives the ranking's cache key from the query spec and the
-// fingerprint of the resolved policy (0 for non-learned algorithms).
-func (e *Engine) cacheKeyFor(q Query, policyFP uint64) cacheKey {
+// cacheKeyFor derives the ranking's cache key from the query spec, the
+// fingerprint of the resolved policy (0 for non-learned algorithms) and
+// the fingerprint of the encoder behind the ANN prefilter (0 without one).
+func (e *Engine) cacheKeyFor(q Query, policyFP, encoderFP uint64) cacheKey {
 	key := cacheKey{
 		gen:      e.gen.Load(),
 		measure:  q.Measure,
@@ -55,7 +64,11 @@ func (e *Engine) cacheKeyFor(q Query, policyFP uint64) cacheKey {
 		params:   q.Params,
 		distinct: q.Distinct,
 		policy:   policyFP,
+		encoder:  encoderFP,
 		digest:   digest(q.Q),
+	}
+	if q.ANN != nil {
+		key.annCands, key.annProbes = q.ANN.Candidates, q.ANN.Probes
 	}
 	if q.Filter != nil {
 		key.hasFilter, key.filter = true, *q.Filter

@@ -23,6 +23,7 @@ import (
 	"slices"
 
 	"simsub/api"
+	"simsub/internal/ann"
 	"simsub/internal/core"
 	"simsub/internal/failpoint"
 	"simsub/internal/geo"
@@ -72,6 +73,12 @@ type Config struct {
 	// fraction serving metrics (see Stats). 0 disables sampling; each
 	// sample costs one ExactS scan over the query's candidates.
 	QualitySample float64
+	// RecallSample is the fraction of uncached ANN-prefiltered queries
+	// whose ranking is re-scored against the same search over the
+	// exhaustive candidate set to feed the recall@k serving metric (see
+	// Stats.MeanRecall). 0 disables sampling; each sample costs one full
+	// unprefiltered scan.
+	RecallSample float64
 	// BatchLanes is the lockstep width of batched per-shard scans for
 	// algorithms with a batched path (the learned searches): each shard
 	// worker feeds candidates into this many lanes and advances them with
@@ -177,6 +184,16 @@ type Query struct {
 	// instead of rejecting, and marks the answer's Degraded field. Without
 	// the opt-in the engine NEVER silently changes what a ranking means.
 	AllowDegraded bool
+	// ANN, when non-nil, swaps candidate generation from the exhaustive
+	// spatial enumeration to the approximate embedding prefilter: each
+	// shard's LSH index proposes its share of the candidate budget by
+	// embedding distance and the exact algorithm reranks only those.
+	// Retained matches carry distances byte-identical to scoring the same
+	// candidates without the prefilter; the only approximation is that a
+	// true top-k member absent from the candidate set is missed (the
+	// sampled recall telemetry tracks how often — see Config.RecallSample).
+	// Requires a registered encoder (SetEncoder).
+	ANN *ANNParams
 	// Distinct collapses matches whose matched subtrajectories carry
 	// identical points (duplicate loads of the same data), keeping the
 	// best-ranked representative; the ranking may then hold fewer than K
@@ -186,6 +203,18 @@ type Query struct {
 	Offset int
 	// Limit caps the returned page size (0 = to the end of the ranking).
 	Limit int
+}
+
+// ANNParams tunes the approximate candidate prefilter of Query.ANN.
+type ANNParams struct {
+	// Candidates is the total candidate budget across all shards: the
+	// prefilter proposes (about) this many trajectories for exact
+	// reranking. Larger budgets raise recall and cost.
+	Candidates int
+	// Probes is the multi-probe width per LSH table: 1 visits only each
+	// table's home bucket, higher values add the nearest perturbed
+	// buckets. Larger values raise recall at slightly higher index cost.
+	Probes int
 }
 
 // Match is one ranked answer: the matched subtrajectory identified by the
@@ -249,6 +278,19 @@ type Stats struct {
 	ApproxRatio               float64 `json:"approx_ratio"`
 	MeanRank                  float64 `json:"mean_rank"`
 	SkippedFraction           float64 `json:"skipped_fraction"`
+
+	// Embedding serving state and sampled ANN recall aggregates: the
+	// registered encoder (SetEncoder), how many queries used the ANN
+	// prefilter, and the mean sampled recall@k of prefiltered rankings
+	// against the same search over the exhaustive candidate set (see
+	// Config.RecallSample and sampleRecall).
+	EncoderLoaded      bool    `json:"encoder_loaded"`
+	EncoderFingerprint string  `json:"encoder_fingerprint,omitempty"`
+	EncoderDim         int     `json:"encoder_dim,omitempty"`
+	EncoderGrid        int     `json:"encoder_grid,omitempty"`
+	ANNQueries         int64   `json:"ann_queries"`
+	RecallSamples      int64   `json:"recall_samples"`
+	MeanRecall         float64 `json:"mean_recall"`
 }
 
 // shard is one partition of the store: a slice of trajectories (global IDs
@@ -261,13 +303,18 @@ type shard struct {
 	trajs []traj.Trajectory
 	metas []core.TrajMeta
 	db    *core.Database
+	// ann indexes the shard's embeddings (TrajMeta.Emb) for the approximate
+	// candidate prefilter; nil until an encoder is registered. Rebuilt
+	// together with db, so a view() pair is always consistent.
+	ann *ann.Index
 }
 
 // add appends a batch and rebuilds the shard's database. metas, when
 // non-nil, carries precomputed scan metadata (recovered from a storage
-// snapshot) aligned with ts; nil metas are derived here, as a pure
-// in-memory engine always did.
-func (s *shard) add(ts []traj.Trajectory, metas []core.TrajMeta) {
+// snapshot, or pre-embedded by the engine) aligned with ts; nil metas are
+// derived here, as a pure in-memory engine always did. With an encoder
+// registered the shard's LSH index is rebuilt over every stored embedding.
+func (s *shard) add(ts []traj.Trajectory, metas []core.TrajMeta, enc *encoderEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.trajs = append(s.trajs, ts...)
@@ -279,6 +326,41 @@ func (s *shard) add(ts []traj.Trajectory, metas []core.TrajMeta) {
 		}
 	}
 	s.db = core.NewDatabaseBackend(core.NewMemBackend(s.trajs, s.metas), s.kind)
+	s.rebuildANN(enc)
+}
+
+// rebuildANN recomputes the shard's LSH index over the current embeddings
+// (caller holds the write lock). Without an encoder the index is dropped.
+func (s *shard) rebuildANN(enc *encoderEntry) {
+	if enc == nil {
+		s.ann = nil
+		return
+	}
+	vecs := make([][]float64, len(s.metas))
+	for i := range s.metas {
+		vecs[i] = s.metas[i].Emb
+	}
+	s.ann = ann.Build(vecs, enc.model.Dim(), ann.Config{})
+}
+
+// reembed re-encodes every stored trajectory under enc into a FRESH meta
+// slice (in-flight searches keep reading the old one), rebuilds the
+// database and the LSH index, and returns the embeddings in local order.
+func (s *shard) reembed(enc *encoderEntry) [][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metas := make([]core.TrajMeta, len(s.metas))
+	copy(metas, s.metas)
+	embs := make([][]float64, len(metas))
+	for i := range metas {
+		emb := enc.model.Embed(s.trajs[i])
+		metas[i].Emb = emb
+		embs[i] = emb
+	}
+	s.metas = metas
+	s.db = core.NewDatabaseBackend(core.NewMemBackend(s.trajs, s.metas), s.kind)
+	s.rebuildANN(enc)
+	return embs
 }
 
 // snapshot returns the shard's current database, which is immutable once
@@ -289,12 +371,25 @@ func (s *shard) snapshot() *core.Database {
 	return s.db
 }
 
-func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *core.SharedKth, st *core.PruneStats, lanes int) ([]Match, error) {
-	db := s.snapshot()
+// view returns the shard's current database together with the LSH index
+// built over the same meta slice: a consistent pair, both immutable once
+// built and safe to search after the lock is released.
+func (s *shard) view() (*core.Database, *ann.Index) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db, s.ann
+}
+
+func (s *shard) topK(ctx context.Context, alg core.Algorithm, q traj.Trajectory, k int, filter *geo.Rect, shared *core.SharedKth, st *core.PruneStats, lanes int, annq *annQuery) ([]Match, error) {
+	db, ix := s.view()
 	if db == nil {
 		return nil, nil
 	}
-	local, err := db.TopKPrunedBatchCtx(ctx, alg, q, k, filter, shared, st, lanes)
+	var src core.CandidateSource
+	if annq != nil && ix != nil {
+		src = annSource{db: db, ix: ix, q: annq}
+	}
+	local, err := db.TopKPrunedBatchSourceCtx(ctx, alg, q, k, filter, shared, st, src, lanes)
 	if err != nil {
 		return nil, err
 	}
@@ -340,6 +435,13 @@ type Engine struct {
 	policy     atomic.Pointer[policyEntry]
 	rlsQueries atomic.Int64
 	quality    qualityTracker
+
+	// encoder is the registered trajectory encoder serving the "embed"
+	// algorithm and the ANN candidate prefilter (nil until SetEncoder);
+	// see encoder.go.
+	encoder    atomic.Pointer[encoderEntry]
+	annQueries atomic.Int64
+	recall     recallTracker
 }
 
 // recordPrune folds one query's pruning counters into the engine totals.
@@ -376,8 +478,9 @@ func New(cfg Config) *Engine {
 func (e *Engine) Add(ts []traj.Trajectory) ([]int, error) {
 	e.addMu.Lock()
 	defer e.addMu.Unlock()
+	st := e.store.Load()
 	var recs []storage.Record
-	if st := e.store.Load(); st != nil {
+	if st != nil {
 		var err error
 		recs, err = st.Append(ts)
 		if err != nil {
@@ -390,10 +493,11 @@ func (e *Engine) Add(ts []traj.Trajectory) ([]int, error) {
 	// from a mixed pre/post-load snapshot can never enter the cache.
 	e.gen.Add(1)
 	defer e.gen.Add(1)
+	enc := e.encoder.Load()
 	ids := make([]int, len(ts))
 	buckets := make([][]traj.Trajectory, len(e.shards))
 	var metaBuckets [][]core.TrajMeta
-	if recs != nil {
+	if recs != nil || enc != nil {
 		metaBuckets = make([][]core.TrajMeta, len(e.shards))
 	}
 	base := int(e.nextID.Load())
@@ -404,13 +508,29 @@ func (e *Engine) Add(ts []traj.Trajectory) ([]int, error) {
 		pts += int64(t.Len())
 		si := id % len(e.shards)
 		if recs != nil {
-			// the store assigned the same dense ID and already derived the
-			// metadata; reuse both instead of re-deriving
-			buckets[si] = append(buckets[si], recs[i].Traj)
-			metaBuckets[si] = append(metaBuckets[si], recs[i].Meta)
+			t = recs[i].Traj
 		} else {
 			t.ID = id
-			buckets[si] = append(buckets[si], t)
+		}
+		buckets[si] = append(buckets[si], t)
+		if metaBuckets != nil {
+			var meta core.TrajMeta
+			if recs != nil {
+				// the store assigned the same dense ID and already derived
+				// the metadata; reuse both instead of re-deriving
+				meta = recs[i].Meta
+			} else {
+				meta = core.DeriveMeta(t)
+			}
+			if enc != nil {
+				// embed at insert, and record the vector against the store
+				// so the next snapshot persists it for recovery
+				meta.Emb = enc.model.Embed(t)
+				if st != nil {
+					st.SetEmbedding(id, enc.fp, meta.Emb)
+				}
+			}
+			metaBuckets[si] = append(metaBuckets[si], meta)
 		}
 	}
 	e.nextID.Store(int64(base + len(ts)))
@@ -420,7 +540,7 @@ func (e *Engine) Add(ts []traj.Trajectory) ([]int, error) {
 			if metaBuckets != nil {
 				ms = metaBuckets[si]
 			}
-			e.shards[si].add(b, ms)
+			e.shards[si].add(b, ms, enc)
 		}
 	}
 	e.points.Add(pts)
@@ -446,18 +566,31 @@ func (e *Engine) AttachStore(st *storage.Store) error {
 	e.gen.Add(1)
 	defer e.gen.Add(1)
 	recs := st.Records()
+	enc := e.encoder.Load()
+	var reusable bool
+	if enc != nil {
+		// snapshot-restored embeddings are reused only under the exact
+		// registered encoder (fingerprint match); anything else re-encodes
+		fp, ok := st.EmbeddingInfo()
+		reusable = ok && fp == enc.fp
+	}
 	buckets := make([][]traj.Trajectory, len(e.shards))
 	metaBuckets := make([][]core.TrajMeta, len(e.shards))
 	var pts int64
 	for _, r := range recs {
 		si := r.ID % len(e.shards)
+		meta := r.Meta
+		if enc != nil && (!reusable || len(meta.Emb) != enc.model.Dim()) {
+			meta.Emb = enc.model.Embed(r.Traj)
+			st.SetEmbedding(r.ID, enc.fp, meta.Emb)
+		}
 		buckets[si] = append(buckets[si], r.Traj)
-		metaBuckets[si] = append(metaBuckets[si], r.Meta)
+		metaBuckets[si] = append(metaBuckets[si], meta)
 		pts += int64(r.Traj.Len())
 	}
 	for si, b := range buckets {
 		if len(b) > 0 {
-			e.shards[si].add(b, metaBuckets[si])
+			e.shards[si].add(b, metaBuckets[si], enc)
 		}
 	}
 	e.nextID.Store(int64(len(recs)))
@@ -511,14 +644,20 @@ func measureFor(name string, p Params) (sim.Measure, error) {
 	if !finite(p.CDTWBand) || p.CDTWBand < 0 || p.CDTWBand > 1 {
 		return nil, api.Errorf(api.CodeInvalidArgument, "cdtw_band must be in (0, 1], got %g", p.CDTWBand)
 	}
-	if p.EDREps != 0 && name != "edr" {
-		return nil, api.Errorf(api.CodeInvalidArgument, "edr_eps set but measure is %q, not \"edr\"", name)
-	}
-	if p.LCSSEps != 0 && name != "lcss" {
-		return nil, api.Errorf(api.CodeInvalidArgument, "lcss_eps set but measure is %q, not \"lcss\"", name)
-	}
-	if p.CDTWBand != 0 && name != "cdtw" {
-		return nil, api.Errorf(api.CodeInvalidArgument, "cdtw_band set but measure is %q, not \"cdtw\"", name)
+	// parameter→measure scoping is driven by the api registration table,
+	// so a new parameterized measure needs one table edit, not a new check
+	for _, pc := range []struct {
+		name string
+		set  bool
+	}{
+		{"edr_eps", p.EDREps != 0},
+		{"lcss_eps", p.LCSSEps != 0},
+		{"cdtw_band", p.CDTWBand != 0},
+	} {
+		if pc.set && api.MeasureParams[pc.name] != name {
+			return nil, api.Errorf(api.CodeInvalidArgument,
+				"%s set but measure is %q, not %q", pc.name, name, api.MeasureParams[pc.name])
+		}
 	}
 	switch {
 	case name == "edr" && p.EDREps > 0:
@@ -536,39 +675,43 @@ func measureFor(name string, p Params) (sim.Measure, error) {
 }
 
 // ResolveQuery builds the measure and algorithm a query names, applying
-// per-query parameter overrides. Spring and UCR compute DTW internally
-// regardless of the measure argument, so pairing them with any other
-// measure is rejected rather than silently returning mislabeled distances.
-// All resolution failures are typed *api.Error values with code
-// invalid_argument.
+// per-query parameter overrides. Algorithm names, aliases and
+// measure pinning (spring/ucr are DTW-only, embed is t2vec-only) come
+// from the api registration table, so pairing a pinned algorithm with
+// any other measure is rejected rather than silently returning
+// mislabeled distances. All resolution failures are typed *api.Error
+// values with code invalid_argument.
 func ResolveQuery(measure, algorithm string, p Params) (core.Algorithm, error) {
 	m, err := measureFor(measure, p)
 	if err != nil {
 		return nil, err
 	}
-	switch algorithm {
-	case "spring", "ucr":
-		if measure != "dtw" {
-			return nil, api.Errorf(api.CodeInvalidArgument,
-				"algorithm %q is DTW-specific and ignores measure %q; use measure \"dtw\"", algorithm, measure)
-		}
+	info, aerr := api.CheckAlgorithm(measure, algorithm)
+	if aerr != nil {
+		return nil, aerr
 	}
 	if p.POSDelay != 0 {
 		if p.POSDelay < 0 {
 			return nil, api.Errorf(api.CodeInvalidArgument, "pos_delay must be positive, got %d", p.POSDelay)
 		}
-		if algorithm != "pos-d" && algorithm != "posd" {
+		if info.Name != "pos-d" {
 			return nil, api.Errorf(api.CodeInvalidArgument, "pos_delay set but algorithm is %q, not \"pos-d\"", algorithm)
 		}
 		return core.POSD{M: m, D: p.POSDelay}, nil
 	}
-	if isRLSAlgorithm(algorithm) {
+	if info.NeedsPolicy {
 		// the learned searches bind a trained policy, which lives in an
 		// engine's registry — resolvable only through Engine.ResolveAlgorithm
 		return nil, api.Errorf(api.CodeInvalidArgument,
 			"algorithm %q requires a loaded policy; resolve it through an engine with one registered", algorithm)
 	}
-	alg, ok := core.AlgorithmFor(algorithm, m)
+	if info.NeedsEncoder {
+		// embedding ranking binds a trajectory encoder, which lives in an
+		// engine's registry — resolvable only through Engine.ResolveAlgorithm
+		return nil, api.Errorf(api.CodeInvalidArgument,
+			"algorithm %q requires a registered encoder; resolve it through an engine with one registered", algorithm)
+	}
+	alg, ok := core.AlgorithmFor(info.Name, m)
 	if !ok {
 		return nil, api.Errorf(api.CodeInvalidArgument, "unknown algorithm %q", algorithm)
 	}
@@ -617,6 +760,14 @@ func (e *Engine) validateQuery(q Query) *api.Error {
 		}
 		if f.IsEmpty() {
 			return api.Errorf(api.CodeInvalidArgument, "filter rectangle is empty")
+		}
+	}
+	if a := q.ANN; a != nil {
+		if a.Candidates <= 0 {
+			return api.Errorf(api.CodeInvalidArgument, "ann.candidates must be positive, got %d", a.Candidates)
+		}
+		if a.Probes <= 0 {
+			return api.Errorf(api.CodeInvalidArgument, "ann.probes must be positive, got %d", a.Probes)
 		}
 	}
 	return nil
@@ -691,6 +842,14 @@ func (e *Engine) scatter(ctx context.Context, alg core.Algorithm, q Query) ([]Ma
 	if q.Bound != nil {
 		shared.Seed(*q.Bound)
 	}
+	// the ANN prefilter state: the query embedding is computed once here
+	// and shared by every shard worker, like the shared threshold
+	var annq *annQuery
+	if q.ANN != nil {
+		if ent := e.encoder.Load(); ent != nil {
+			annq = e.annQueryFor(ent, q)
+		}
+	}
 	perShard := make([][]Match, len(e.shards))
 	stats := make([]core.PruneStats, len(e.shards))
 	errs := make([]error, len(e.shards))
@@ -710,7 +869,7 @@ func (e *Engine) scatter(ctx context.Context, alg core.Algorithm, q Query) ([]Ma
 				errs[i] = ferr
 				return
 			}
-			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K, q.Filter, shared, &stats[i], e.cfg.BatchLanes)
+			perShard[i], errs[i] = s.topK(ctx, alg, q.Q, q.K, q.Filter, shared, &stats[i], e.cfg.BatchLanes, annq)
 		}(i, s)
 	}
 	wg.Wait()
@@ -737,6 +896,15 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 	if err != nil {
 		return nil, nil, false, nil, err
 	}
+	ent, aerr := e.annCheck(q)
+	if aerr != nil {
+		return nil, nil, false, nil, aerr
+	}
+	var encFP uint64
+	if ent != nil {
+		encFP = ent.fp
+		e.annQueries.Add(1)
+	}
 	e.queries.Add(1)
 	if _, ok := alg.(core.RLS); ok {
 		e.rlsQueries.Add(1)
@@ -746,7 +914,7 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 
 	var key cacheKey
 	if e.cache != nil {
-		key = e.cacheKeyFor(q, policyFP)
+		key = e.cacheKeyFor(q, policyFP, encFP)
 		if ms, ok := e.cache.get(key, q.Q); ok {
 			e.hits.Add(1)
 			return ms, pageOf(ms, q.Offset, q.Limit), true, nil, nil
@@ -767,7 +935,7 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 			return nil, nil, false, nil, err
 		}
 		if e.cache != nil {
-			key = e.cacheKeyFor(q, policyFP)
+			key = e.cacheKeyFor(q, policyFP, encFP)
 			if ms, ok := e.cache.get(key, q.Q); ok {
 				e.hits.Add(1)
 				return ms, pageOf(ms, q.Offset, q.Limit), true, deg, nil
@@ -789,6 +957,11 @@ func (e *Engine) topK(ctx context.Context, q Query) (full, page []Match, cached 
 	// collapsing, which the exact reference scan does not apply
 	if rls, ok := alg.(core.RLS); ok && e.quality.sampled(e.cfg.QualitySample) {
 		e.sampleQuality(ctx, q, rls, merged, gen)
+	}
+	// sampled ANN recall: compare the prefiltered ranking against the same
+	// search over the exhaustive candidate set, on the same snapshot
+	if q.ANN != nil && e.recall.sampled(e.cfg.RecallSample) {
+		e.sampleRecall(ctx, q, alg, merged, gen)
 	}
 	if q.Distinct {
 		merged = e.collapseDuplicates(merged)
@@ -900,5 +1073,13 @@ func (e *Engine) Stats() Stats {
 		st.PolicyCompiledFingerprint = info.CompiledFingerprint
 	}
 	st.QualitySamples, st.ApproxRatio, st.MeanRank, st.SkippedFraction = e.quality.snapshot()
+	if info, ok := e.Encoder(); ok {
+		st.EncoderLoaded = true
+		st.EncoderFingerprint = info.Fingerprint
+		st.EncoderDim = info.Dim
+		st.EncoderGrid = info.Grid
+	}
+	st.ANNQueries = e.annQueries.Load()
+	st.RecallSamples, st.MeanRecall = e.recall.snapshot()
 	return st
 }

@@ -182,6 +182,27 @@ func isRLSAlgorithm(name string) bool {
 // returns the policy fingerprint for the cache key (0 for non-learned
 // algorithms).
 func (e *Engine) resolveAlg(measure, algorithm string, p Params) (core.Algorithm, uint64, error) {
+	if algorithm == "embed" {
+		// pure embedding ranking: binds the registered encoder the same way
+		// the learned searches bind the registered policy, with the encoder
+		// fingerprint in the fingerprint slot of the cache key
+		if measure != "t2vec" {
+			return nil, 0, api.Errorf(api.CodeInvalidArgument,
+				"algorithm \"embed\" ranks by encoder embeddings and requires measure \"t2vec\", got %q", measure)
+		}
+		if _, err := measureFor(measure, p); err != nil {
+			return nil, 0, err
+		}
+		if p.POSDelay != 0 {
+			return nil, 0, api.Errorf(api.CodeInvalidArgument, "pos_delay set but algorithm is \"embed\", not \"pos-d\"")
+		}
+		ent := e.encoder.Load()
+		if ent == nil {
+			return nil, 0, api.Errorf(api.CodeInvalidArgument,
+				"algorithm \"embed\" requires a registered encoder (start with -encoder or POST /v2/admin/encoder)")
+		}
+		return core.EmbedRank{E: ent.model}, ent.fp, nil
+	}
 	if !isRLSAlgorithm(algorithm) {
 		alg, err := ResolveQuery(measure, algorithm, p)
 		return alg, 0, err

@@ -42,6 +42,13 @@ func QueryFromSpec(spec api.QuerySpec) (Query, *api.Error) {
 	if aerr := spec.ValidateBound(); aerr != nil {
 		return Query{}, aerr
 	}
+	if aerr := spec.ValidateANN(); aerr != nil {
+		return Query{}, aerr
+	}
+	var ann *ANNParams
+	if spec.ANN != nil {
+		ann = &ANNParams{Candidates: spec.ANN.Candidates, Probes: spec.ANN.Probes}
+	}
 	return Query{
 		Q:         t,
 		K:         spec.K,
@@ -54,6 +61,7 @@ func QueryFromSpec(spec api.QuerySpec) (Query, *api.Error) {
 			POSDelay: spec.POSDelay,
 		},
 		Bound:         spec.Bound,
+		ANN:           ann,
 		Filter:        filter,
 		AllowDegraded: spec.AllowDegraded,
 		Distinct:      spec.Distinct,

@@ -120,6 +120,15 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 	if err != nil {
 		return nil, nil, false, nil, err
 	}
+	ent, aerr := e.annCheck(q)
+	if aerr != nil {
+		return nil, nil, false, nil, aerr
+	}
+	var encFP uint64
+	if ent != nil {
+		encFP = ent.fp
+		e.annQueries.Add(1)
+	}
 	e.queries.Add(1)
 	if _, ok := alg.(core.RLS); ok {
 		e.rlsQueries.Add(1)
@@ -143,7 +152,7 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 		return ms, page, true, nil
 	}
 	if e.cache != nil {
-		key = e.cacheKeyFor(q, policyFP)
+		key = e.cacheKeyFor(q, policyFP, encFP)
 		if f, p, hit, herr := cacheGet(); hit {
 			return f, p, herr == nil, nil, herr
 		}
@@ -163,7 +172,7 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 			return nil, nil, false, nil, err
 		}
 		if e.cache != nil {
-			key = e.cacheKeyFor(q, policyFP)
+			key = e.cacheKeyFor(q, policyFP, encFP)
 			if f, p, hit, herr := cacheGet(); hit {
 				if herr != nil {
 					return nil, nil, false, nil, herr
@@ -186,6 +195,11 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 		bound = *q.Bound
 	}
 	kth := newPublishedKth(bound)
+	// the ANN prefilter state, shared by every shard scanner (see scatter)
+	var annq *annQuery
+	if q.ANN != nil && ent != nil {
+		annq = e.annQueryFor(ent, q)
+	}
 	stats := make([]core.PruneStats, len(e.shards))
 	errs := make([]error, len(e.shards))
 	var wg sync.WaitGroup
@@ -204,11 +218,15 @@ func (e *Engine) topKStream(ctx context.Context, q Query, emit func(Match) error
 				errs[i] = ferr
 				return
 			}
-			db := s.snapshot()
+			db, ix := s.view()
 			if db == nil {
 				return
 			}
-			errs[i] = db.ScanPrunedCtx(scanCtx, alg, q.Q, q.Filter, kth, &stats[i], func(m core.Match) error {
+			var src core.CandidateSource
+			if annq != nil && ix != nil {
+				src = annSource{db: db, ix: ix, q: annq}
+			}
+			errs[i] = db.ScanPrunedSourceCtx(scanCtx, alg, q.Q, q.Filter, kth, &stats[i], src, func(m core.Match) error {
 				gm := Match{TrajID: db.Traj(m.TrajIndex).ID, Result: m.Result}
 				select {
 				case ch <- gm:

@@ -115,6 +115,107 @@ func (r *Router) Policy(ctx context.Context) (*api.PolicyInfo, error) {
 	return nil, api.Errorf(api.CodeNotFound, "no policy registered")
 }
 
+// SwapEncoder broadcasts a t2vec encoder swap to every node of the fleet,
+// enabling the "ann" prefilter and the "embed" ranking fleet-wide. A Path
+// request is resolved against the ROUTER's filesystem — the file is read
+// once here and shipped to the nodes as bytes. Like SwapPolicy the
+// broadcast is all-or-nothing in intent but not atomic: a mixed outcome is
+// reported as an error naming the rejecting nodes (re-issue to converge),
+// and on success every node's fingerprint is verified to agree — a
+// diverged fleet would rank the same ann query against different
+// embedding spaces per shard group.
+func (r *Router) SwapEncoder(ctx context.Context, req api.EncoderSwapRequest) (*api.EncoderInfo, error) {
+	if (req.Path == "") == (req.EncoderB64 == "") {
+		return nil, api.Errorf(api.CodeInvalidArgument, "exactly one of path or encoder_b64 must be set")
+	}
+	if req.Path != "" {
+		raw, err := os.ReadFile(req.Path)
+		if err != nil {
+			return nil, api.Errorf(api.CodeInvalidArgument, "reading encoder file: %v", err)
+		}
+		req = api.EncoderSwapRequest{EncoderB64: base64.StdEncoding.EncodeToString(raw)}
+	}
+
+	infos := make([]*api.EncoderInfo, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			actx, cancel := r.attemptCtx(ctx)
+			defer cancel()
+			start := time.Now()
+			info, err := n.c.SwapEncoder(actx, req)
+			n.observe(start, err)
+			if err != nil {
+				errs[i] = fmt.Errorf("node %s: %w", n.base, err)
+				return
+			}
+			infos[i] = info
+		}(i, n)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, api.Errorf(api.CodeInternal, "encoder broadcast incomplete, fleet may be serving mixed encoders — re-issue the swap: %v", err)
+	}
+	for i, info := range infos[1:] {
+		if info.Fingerprint != infos[0].Fingerprint {
+			return nil, api.Errorf(api.CodeInternal,
+				"fleet diverged after swap: node %s reports encoder fingerprint %s, node %s reports %s",
+				r.nodes[0].base, infos[0].Fingerprint, r.nodes[i+1].base, info.Fingerprint)
+		}
+	}
+	return infos[0], nil
+}
+
+// Encoder reports the fleet's registered encoder. Every reachable node
+// must agree on the fingerprint; a divergent fleet is an internal error
+// (ann candidates would come from inconsistent embedding spaces).
+func (r *Router) Encoder(ctx context.Context) (*api.EncoderInfo, error) {
+	infos := make([]*api.EncoderInfo, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			actx, cancel := r.attemptCtx(ctx)
+			defer cancel()
+			start := time.Now()
+			info, err := n.c.Encoder(actx)
+			n.observe(start, err)
+			infos[i], errs[i] = info, err
+		}(i, n)
+	}
+	wg.Wait()
+	var first *api.EncoderInfo
+	firstNode := ""
+	for i, info := range infos {
+		if info == nil {
+			continue
+		}
+		if first == nil {
+			first, firstNode = info, r.nodes[i].base
+			continue
+		}
+		if info.Fingerprint != first.Fingerprint {
+			return nil, api.Errorf(api.CodeInternal,
+				"fleet encoders diverged: node %s reports fingerprint %s, node %s reports %s — re-issue the swap",
+				firstNode, first.Fingerprint, r.nodes[i].base, info.Fingerprint)
+		}
+	}
+	if first != nil {
+		return first, nil
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, api.FromError(err)
+		}
+	}
+	return nil, api.Errorf(api.CodeNotFound, "no encoder registered")
+}
+
 // Stats aggregates fleet telemetry, best-effort: unreachable nodes
 // contribute nothing (and are marked unhealthy) rather than failing the
 // call. The Engine section sums the nodes' counters — store-shape fields
@@ -142,6 +243,7 @@ func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
 
 	var agg api.Stats
 	var measures []string
+	var recallWeighted float64
 	idx := 0
 	for _, g := range r.groups {
 		shaped := false
@@ -168,6 +270,9 @@ func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
 			agg.EarlyAbandoned += e.EarlyAbandoned
 			agg.RLSQueries += e.RLSQueries
 			agg.QualitySamples += e.QualitySamples
+			agg.ANNQueries += e.ANNQueries
+			agg.RecallSamples += e.RecallSamples
+			recallWeighted += e.MeanRecall * float64(e.RecallSamples)
 			agg.Shed += e.Shed
 			agg.ShedExpensive += e.ShedExpensive
 			agg.DeadlineRejects += e.DeadlineRejects
@@ -186,10 +291,19 @@ func (r *Router) Stats(ctx context.Context) (*api.StatsResponse, error) {
 				agg.PolicyCompileDivergence = e.PolicyCompileDivergence
 				agg.PolicyCompiledFingerprint = e.PolicyCompiledFingerprint
 			}
+			if !agg.EncoderLoaded && e.EncoderLoaded {
+				agg.EncoderLoaded = true
+				agg.EncoderFingerprint = e.EncoderFingerprint
+				agg.EncoderDim = e.EncoderDim
+				agg.EncoderGrid = e.EncoderGrid
+			}
 			if measures == nil {
 				measures = st.Measures
 			}
 		}
+	}
+	if agg.RecallSamples > 0 {
+		agg.MeanRecall = recallWeighted / float64(agg.RecallSamples)
 	}
 	agg.Trajectories = r.Len()
 

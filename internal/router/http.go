@@ -64,6 +64,8 @@ func NewHandler(r *Router, opts HandlerOptions) *Handler {
 	h.mux.HandleFunc("GET /v2/stats", h.handleStats)
 	h.mux.HandleFunc("POST /v2/admin/policy", h.handlePolicySwap)
 	h.mux.HandleFunc("GET /v2/admin/policy", h.handlePolicyGet)
+	h.mux.HandleFunc("POST /v2/admin/encoder", h.handleEncoderSwap)
+	h.mux.HandleFunc("GET /v2/admin/encoder", h.handleEncoderGet)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	if opts.EnableFailpoints {
 		h.mux.Handle("/v2/admin/failpoints", server.FailpointsHandler())
@@ -244,6 +246,32 @@ func (h *Handler) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := h.requestContext(r, 0)
 	defer cancel()
 	info, err := h.r.Policy(ctx)
+	if err != nil {
+		writeErr(w, api.FromError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (h *Handler) handleEncoderSwap(w http.ResponseWriter, r *http.Request) {
+	var req api.EncoderSwapRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := h.requestContext(r, 0)
+	defer cancel()
+	info, err := h.r.SwapEncoder(ctx, req)
+	if err != nil {
+		writeErr(w, api.FromError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (h *Handler) handleEncoderGet(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := h.requestContext(r, 0)
+	defer cancel()
+	info, err := h.r.Encoder(ctx)
 	if err != nil {
 		writeErr(w, api.FromError(err))
 		return

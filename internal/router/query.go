@@ -59,6 +59,9 @@ func (r *Router) validateSpec(spec api.QuerySpec) *api.Error {
 			return aerr
 		}
 	}
+	if aerr := spec.ValidateANN(); aerr != nil {
+		return aerr
+	}
 	return spec.ValidateBound()
 }
 

@@ -131,6 +131,8 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v2/admin/policy", s.handlePolicySwap)
 	s.mux.HandleFunc("GET /v2/admin/policy", s.handlePolicyGet)
+	s.mux.HandleFunc("POST /v2/admin/encoder", s.handleEncoderSwap)
+	s.mux.HandleFunc("GET /v2/admin/encoder", s.handleEncoderGet)
 	if opts.EnableFailpoints {
 		s.mux.Handle("/v2/admin/failpoints", FailpointsHandler())
 	}
@@ -577,6 +579,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ApproxRatio:               es.ApproxRatio,
 			MeanRank:                  es.MeanRank,
 			SkippedFraction:           es.SkippedFraction,
+			EncoderLoaded:             es.EncoderLoaded,
+			EncoderFingerprint:        es.EncoderFingerprint,
+			EncoderDim:                es.EncoderDim,
+			EncoderGrid:               es.EncoderGrid,
+			ANNQueries:                es.ANNQueries,
+			RecallSamples:             es.RecallSamples,
+			MeanRecall:                es.MeanRecall,
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),

@@ -12,6 +12,7 @@ import (
 	"simsub/api"
 	"simsub/internal/engine"
 	"simsub/internal/rl"
+	"simsub/internal/t2vec"
 )
 
 // This file holds the v2 endpoints, which speak the api package's wire
@@ -211,6 +212,85 @@ func (s *Server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, policyInfoToAPI(info))
+}
+
+// encoderInfoToAPI converts the engine's encoder description to wire form.
+func encoderInfoToAPI(info engine.EncoderInfo) api.EncoderInfo {
+	return api.EncoderInfo{
+		Dim:         info.Dim,
+		Grid:        info.Grid,
+		Fingerprint: info.Fingerprint,
+	}
+}
+
+// handleEncoderSwap answers POST /v2/admin/encoder: load a t2vec encoder
+// from a server-local file path or inline base64 bytes and register it as
+// the corpus embedder. Registration re-embeds every stored trajectory,
+// rebuilds the per-shard ANN indexes, purges the result cache and changes
+// the encoder fingerprint — so the ann prefilter and the "embed" ranking
+// switch atomically and no stale cached ranking survives. An encoder that
+// fails to parse is rejected with invalid_argument and the previous
+// registration keeps serving.
+func (s *Server) handleEncoderSwap(w http.ResponseWriter, r *http.Request) {
+	var req api.EncoderSwapRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if (req.Path == "") == (req.EncoderB64 == "") {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "exactly one of path or encoder_b64 must be set"))
+		return
+	}
+	var (
+		m   *t2vec.Model
+		err error
+	)
+	if req.Path != "" {
+		m, err = t2vec.LoadFile(req.Path)
+		if errors.Is(err, fs.ErrNotExist) {
+			writeErr(w, api.Errorf(api.CodeNotFound, "encoder file %q does not exist", req.Path))
+			return
+		}
+		var perr *fs.PathError
+		if errors.As(err, &perr) {
+			writeErr(w, api.Errorf(api.CodeInternal, "reading encoder file %q: %v", req.Path, perr.Err))
+			return
+		}
+		if err != nil {
+			// same redaction rationale as the policy path: the parse error can
+			// echo fragments of a server-local file
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "file %q is not a valid encoder", req.Path))
+			return
+		}
+	} else {
+		var raw []byte
+		raw, err = base64.StdEncoding.DecodeString(req.EncoderB64)
+		if err != nil {
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "decoding encoder_b64: %v", err))
+			return
+		}
+		m, err = t2vec.Load(bytes.NewReader(raw))
+		if err != nil {
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "loading encoder: %v", err))
+			return
+		}
+	}
+	info, serr := s.eng.SetEncoder(m)
+	if serr != nil {
+		writeErr(w, api.FromError(serr))
+		return
+	}
+	writeJSON(w, http.StatusOK, encoderInfoToAPI(info))
+}
+
+// handleEncoderGet answers GET /v2/admin/encoder with the registered
+// encoder's description, or a typed not_found when none is loaded.
+func (s *Server) handleEncoderGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.eng.Encoder()
+	if !ok {
+		writeErr(w, api.Errorf(api.CodeNotFound, "no encoder loaded"))
+		return
+	}
+	writeJSON(w, http.StatusOK, encoderInfoToAPI(info))
 }
 
 // compile-time guarantee that the engine backing this server satisfies the

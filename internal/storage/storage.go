@@ -152,6 +152,16 @@ type Store struct {
 	snapApplied int // records covered by the newest durable snapshot
 	unmaps      []func() error
 	closed      bool
+
+	// Encoder embeddings, persisted as the snapshot's trailing embedding
+	// record so recovery under the same encoder skips re-encoding. Indexed
+	// by record ID; a nil entry means "not embedded". embFP is the encoder
+	// fingerprint the vectors were derived under — a fingerprint change
+	// (encoder hot-swap) discards the whole set.
+	embMu  sync.Mutex
+	embFP  uint64
+	embs   [][]float64
+	hasEmb bool
 }
 
 const (
@@ -205,7 +215,7 @@ func Open(dir string, opts Options) (*Store, *RecoveryStats, error) {
 
 	// newest valid snapshot that the recovered log actually covers wins;
 	// torn or over-reaching snapshots are discarded, not trusted
-	metas, applied := s.loadBestSnapshot(snaps, len(raws), stats)
+	metas, applied, embFP, hasEmb := s.loadBestSnapshot(snaps, len(raws), stats)
 
 	s.recs = make([]Record, len(raws))
 	for i, rr := range raws {
@@ -222,6 +232,17 @@ func Open(dir string, opts Options) (*Store, *RecoveryStats, error) {
 		s.recs[i] = rec
 	}
 	s.snapApplied = applied
+	if hasEmb {
+		// carry the recovered embedding set forward so the next snapshot
+		// re-persists it even if the engine never re-registers an encoder
+		s.embFP, s.hasEmb = embFP, true
+		s.embs = make([][]float64, len(s.recs))
+		for i := range s.recs {
+			if s.recs[i].FromSnapshot {
+				s.embs[i] = s.recs[i].Meta.Emb
+			}
+		}
+	}
 	stats.Records = len(s.recs)
 
 	// (re)open the active segment for appending
@@ -381,6 +402,50 @@ func (s *Store) Records() []Record {
 
 // Dir returns the store's data directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetEmbedding records the embedding of record id under the encoder
+// fingerprint fp. A fingerprint different from the current set's discards
+// every previously recorded vector first (they were derived by another
+// encoder and must not be persisted alongside the new ones). The vectors
+// become durable with the next Snapshot.
+func (s *Store) SetEmbedding(id int, fp uint64, emb []float64) {
+	if id < 0 {
+		return
+	}
+	s.embMu.Lock()
+	defer s.embMu.Unlock()
+	if !s.hasEmb || s.embFP != fp {
+		s.embs = nil
+		s.embFP = fp
+		s.hasEmb = true
+	}
+	for len(s.embs) <= id {
+		s.embs = append(s.embs, nil)
+	}
+	s.embs[id] = emb
+}
+
+// EmbeddingInfo returns the fingerprint of the encoder the store's
+// embedding set was derived under, and whether such a set exists at all
+// (recovered from a snapshot or recorded since).
+func (s *Store) EmbeddingInfo() (fp uint64, ok bool) {
+	s.embMu.Lock()
+	defer s.embMu.Unlock()
+	return s.embFP, s.hasEmb
+}
+
+// EmbeddingCount returns how many records currently carry an embedding.
+func (s *Store) EmbeddingCount() int {
+	s.embMu.Lock()
+	defer s.embMu.Unlock()
+	n := 0
+	for _, e := range s.embs {
+		if len(e) > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // Sync fsyncs the active segment.
 func (s *Store) Sync() error {

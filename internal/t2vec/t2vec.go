@@ -94,6 +94,9 @@ func (m *Model) Dim() int { return m.enc.HiddenDim }
 // Encoder exposes the underlying GRU (for serialization and training).
 func (m *Model) Encoder() *nn.GRU { return m.enc }
 
+// Grid returns the token-grid resolution (0 for coordinate-input models).
+func (m *Model) Grid() int { return m.grid }
+
 // Bounds returns the normalization rectangle.
 func (m *Model) Bounds() geo.Rect { return m.bounds }
 
@@ -153,6 +156,14 @@ func (m *Model) Embed(t traj.Trajectory) []float64 {
 		m.enc.StepInfer(h, x, h)
 	}
 	return h
+}
+
+// QueryEmbedding returns the (cached) embedding of q. Together with Dim
+// and Embed it satisfies core.Embedder, so the engine can store per-
+// trajectory embeddings and rank by embedding distance without knowing the
+// encoder's internals.
+func (m *Model) QueryEmbedding(q traj.Trajectory) []float64 {
+	return m.queryEmbedding(q)
 }
 
 // queryEmbedding returns the (cached) embedding of q.
